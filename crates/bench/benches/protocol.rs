@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the Open-MX protocol hot paths: wire
+//! encode/decode, the match engine, and the coalescing decision hooks.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use omx_core::matching::{MatchEngine, PostedRecv, UnexpectedMsg};
+use omx_core::wire::{EndpointAddr, MsgId, OmxHeader, Packet, PacketKind};
+use omx_nic::{Coalescer, PacketMeta, StreamCoalescing, TimeoutCoalescing};
+use omx_sim::Time;
+
+fn sample_packet() -> Packet {
+    Packet {
+        hdr: OmxHeader {
+            src: EndpointAddr::new(0, 1),
+            dst: EndpointAddr::new(1, 2),
+            latency_sensitive: true,
+            seq: 42,
+            ack: 41,
+        },
+        kind: PacketKind::MediumFrag {
+            msg: MsgId(7),
+            match_info: 0xDEAD_BEEF,
+            frag: 11,
+            frag_count: 23,
+            frag_len: 1468,
+            total_len: 32 * 1024,
+        },
+    }
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(1));
+    let pkt = sample_packet();
+    group.bench_function("encode", |b| b.iter(|| pkt.encode()));
+    let bytes = pkt.encode();
+    group.bench_function("decode", |b| {
+        b.iter(|| Packet::decode(bytes.clone()).expect("valid"))
+    });
+    group.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("post_and_match_1k_exact", |b| {
+        b.iter_batched(
+            MatchEngine::new,
+            |mut m| {
+                for i in 0..1_000u64 {
+                    m.post_recv(PostedRecv {
+                        handle: i,
+                        match_value: i,
+                        match_mask: !0,
+                    });
+                }
+                for i in 0..1_000u64 {
+                    let hit = m.incoming(UnexpectedMsg {
+                        src: EndpointAddr::new(0, 0),
+                        msg: MsgId(i),
+                        match_info: i,
+                        len: 64,
+                    });
+                    assert!(hit.is_some());
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn coalescer_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer");
+    group.throughput(Throughput::Elements(10_000));
+    let meta = PacketMeta::omx(1500, true);
+
+    group.bench_function("timeout_10k_packets", |b| {
+        b.iter_batched(
+            || TimeoutCoalescing::new(75),
+            |mut s| {
+                let mut raises = 0u64;
+                for i in 0..10_000u64 {
+                    let t = Time::from_nanos(i * 1_200);
+                    let a = s.on_packet_arrival(t, &meta);
+                    let b = s.on_dma_complete(t, false, 0, 1);
+                    raises += u64::from(a.raise) + u64::from(b.raise);
+                }
+                black_box(raises);
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("stream_10k_packets", |b| {
+        b.iter_batched(
+            || StreamCoalescing::new(75),
+            |mut s| {
+                for i in 0..10_000u64 {
+                    let t = Time::from_nanos(i * 1_200);
+                    s.on_packet_arrival(t, &meta);
+                    let d = s.on_dma_complete(t, true, (i % 3) as usize, 1);
+                    if d.raise {
+                        s.on_interrupt(t);
+                    }
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire_codec, matching, coalescer_hooks);
+criterion_main!(benches);

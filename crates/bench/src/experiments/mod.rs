@@ -1,0 +1,78 @@
+//! All paper experiments.
+
+pub mod adaptive;
+pub mod coexistence;
+pub mod fig4;
+pub mod jumbo;
+pub mod multiqueue;
+pub mod nas;
+pub mod overhead;
+pub mod pingpong;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use omx_core::prelude::*;
+
+/// The four strategies of the paper's tables, in column order.
+pub fn paper_strategies() -> Vec<(&'static str, CoalescingStrategy)> {
+    vec![
+        ("default", CoalescingStrategy::Timeout { delay_us: 75 }),
+        ("disabled", CoalescingStrategy::Disabled),
+        ("open-mx", CoalescingStrategy::OpenMx { delay_us: 75 }),
+        ("stream", CoalescingStrategy::Stream { delay_us: 75 }),
+    ]
+}
+
+/// Run independent jobs in parallel, preserving input order in the output.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n = inputs.len();
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let out = parking_lot::Mutex::new(out);
+    let jobs = parking_lot::Mutex::new(inputs.into_iter().enumerate().collect::<Vec<_>>());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let Some((idx, input)) = jobs.lock().pop() else {
+                    break;
+                };
+                let result = f(input);
+                out.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_inner()
+        .into_iter()
+        .map(|o| o.expect("all jobs ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strategies_cover_the_paper_columns() {
+        let s = paper_strategies();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].0, "default");
+        assert_eq!(s[1].0, "disabled");
+    }
+}

@@ -1,0 +1,222 @@
+//! Experiment CLI — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! omx-bench <experiment> [--quick]
+//!
+//! experiments:
+//!   fig4               message rate vs coalescing delay (Fig. 4)
+//!   overhead           per-packet interrupt overhead (§IV-B2)
+//!   fig5               ping-pong, timeout vs disabled (Fig. 5)
+//!   fig6               ping-pong + open-mx (Fig. 6)
+//!   table1             message rate by size × strategy (Table I)
+//!   table2             234 KiB anatomy + marker ablation (Table II, §IV-C3)
+//!   table3             packet mis-ordering vs stream coalescing (Table III)
+//!   table4 [prefix]    NAS execution times (Table IV); optional row filter
+//!   table5             NAS IS interrupt counts (Table V; implies the IS rows)
+//!   adaptive           adaptive coalescing comparison (§VI)
+//!   coexistence        TCP/IP non-interference check (§IV/§VI)
+//!   multiqueue         flow-hashed IRQ steering (§VI future work)
+//!   jumbo              MTU 9000 sanity check (§IV-A)
+//!   sensitivity        cost-model perturbation study (robustness)
+//!   all                everything above
+//! ```
+//!
+//! `--quick` shrinks repetition counts (useful for smoke tests). Results are
+//! printed and written as JSON under `results/`.
+
+use omx_bench::experiments::{
+    adaptive, coexistence, fig4, jumbo, multiqueue, nas, overhead, pingpong, sensitivity, table1,
+    table2, table3,
+};
+use omx_bench::write_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let which = positional.next().map(String::as_str).unwrap_or("all");
+    let filter = positional.next().cloned().unwrap_or_default();
+
+    let t0 = std::time::Instant::now();
+    match which {
+        "fig4" => run_fig4(quick),
+        "overhead" => run_overhead(quick),
+        "fig5" => run_pingpong(false, quick),
+        "fig6" => run_pingpong(true, quick),
+        "table1" => run_table1(),
+        "table2" => run_table2(quick),
+        "table3" => run_table3(quick),
+        "table4" => run_nas(&filter),
+        "table5" => run_nas("is."),
+        "adaptive" => run_adaptive(quick),
+        "coexistence" => run_coexistence(),
+        "multiqueue" => run_multiqueue(),
+        "jumbo" => run_jumbo(quick),
+        "sensitivity" => run_sensitivity(quick),
+        "all" => {
+            run_fig4(quick);
+            run_overhead(quick);
+            run_pingpong(false, quick);
+            run_pingpong(true, quick);
+            run_table1();
+            run_table2(quick);
+            run_table3(quick);
+            run_adaptive(quick);
+            run_coexistence();
+            run_multiqueue();
+            run_jumbo(quick);
+            run_sensitivity(quick);
+            run_nas(if quick { "is." } else { "" });
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; see the crate docs");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run_fig4(quick: bool) {
+    println!("== Figure 4: message rate vs interrupt coalescing delay ==");
+    let result = fig4::run(if quick { 600 } else { 2_000 });
+    println!("{}", fig4::table(&result).render());
+    let _ = write_json("fig4_message_rate", &result);
+    // gnuplot: one column block per curve (delay, rate).
+    let mut configs: Vec<String> = result.points.iter().map(|p| p.config.clone()).collect();
+    configs.dedup();
+    let mut rows = Vec::new();
+    for config in &configs {
+        rows.push(vec![format!("\n# {config}")]);
+        for p in result.points.iter().filter(|p| &p.config == config) {
+            rows.push(vec![p.delay_us.to_string(), format!("{:.0}", p.msgs_per_sec)]);
+        }
+        rows.push(vec![String::new()]);
+    }
+    let _ = omx_bench::report::write_dat("fig4", "delay_us msgs_per_sec (blocks per config)", &rows);
+    let _ = omx_bench::report::write_gnuplot(
+        "fig4",
+        "set xlabel 'Interrupt coalescing (microseconds)'\n\
+         set ylabel 'Messages received / second'\n\
+         set key bottom right\n\
+         plot 'fig4.dat' index 0 w lp t 'single core, no sleep', \\\n\
+              '' index 1 w lp t 'single core, sleep possible', \\\n\
+              '' index 2 w lp t 'all cores, sleep possible (default)'\n\
+         pause -1\n",
+    );
+}
+
+fn run_overhead(quick: bool) {
+    println!("== §IV-B2: per-packet interrupt overhead ==");
+    let result = overhead::run(if quick { 5_000 } else { 20_000 });
+    println!("{}", overhead::table(&result).render());
+    println!(
+        "paper anchors: disabled {} ns, coalesced {} ns\n",
+        result.paper_disabled_ns, result.paper_coalesced_ns
+    );
+    let _ = write_json("overhead", &result);
+}
+
+fn run_pingpong(with_openmx: bool, quick: bool) {
+    let (name, label) = if with_openmx {
+        ("fig6_pingpong", "Figure 6")
+    } else {
+        ("fig5_pingpong", "Figure 5")
+    };
+    println!("== {label}: ping-pong transfer time ==");
+    let result = pingpong::run(with_openmx, if quick { 20 } else { 60 });
+    println!("{}", pingpong::table(&result).render());
+    let _ = write_json(name, &result);
+    // gnuplot: blocks per strategy (size, normalized transfer time).
+    let mut strategies: Vec<String> = result.points.iter().map(|p| p.strategy.clone()).collect();
+    strategies.dedup();
+    let mut rows = Vec::new();
+    for strategy in &strategies {
+        rows.push(vec![format!("\n# {strategy}")]);
+        for p in result.points.iter().filter(|p| &p.strategy == strategy) {
+            rows.push(vec![p.msg_len.to_string(), format!("{:.3}", p.normalized)]);
+        }
+        rows.push(vec![String::new()]);
+    }
+    let _ = omx_bench::report::write_dat(name, "size_bytes normalized_transfer_time", &rows);
+    let _ = omx_bench::report::write_gnuplot(
+        name,
+        &format!(
+            "set logscale x 2\nset xlabel 'Message size (bytes)'\n\
+             set ylabel 'Normalized Transfer Time'\nset key top right\n\
+             plot for [i=0:{}] '{name}.dat' index i w lp t columnheader(1)\npause -1\n",
+            strategies.len() - 1
+        ),
+    );
+}
+
+fn run_table1() {
+    println!("== Table I: message rate (msg/s) by size and strategy ==");
+    let result = table1::run();
+    println!("{}", table1::table(&result).render());
+    let _ = write_json("table1_message_rate", &result);
+}
+
+fn run_table2(quick: bool) {
+    println!("== Table II: 234 KiB transfer anatomy ==");
+    let result = table2::run(if quick { 10 } else { 30 });
+    let (main, ablation) = table2::table(&result);
+    println!("{}", main.render());
+    println!("-- §IV-C3 marker ablation (open-mx coalescing) --");
+    println!("{}", ablation.render());
+    let _ = write_json("table2_anatomy", &result);
+}
+
+fn run_table3(quick: bool) {
+    println!("== Table III: packet mis-ordering (32 KiB medium messages) ==");
+    let result = table3::run(if quick { 40 } else { 200 });
+    println!("{}", table3::table(&result).render());
+    let _ = write_json("table3_misordering", &result);
+}
+
+fn run_nas(filter: &str) {
+    println!("== Tables IV & V: NAS Parallel Benchmarks (16 ranks, 2 nodes) ==");
+    if !filter.is_empty() {
+        println!("(row filter: {filter})");
+    }
+    let result = nas::run(filter);
+    println!("-- Table IV: execution time (s) --");
+    println!("{}", nas::table_iv(&result).render());
+    println!("-- Table V: interrupts --");
+    println!("{}", nas::table_v(&result).render());
+    let _ = write_json("table4_table5_nas", &result);
+}
+
+fn run_coexistence() {
+    println!("== §IV/§VI: TCP/IP coexistence (non-interference claim) ==");
+    let result = coexistence::run();
+    println!("{}", coexistence::table(&result).render());
+    let _ = write_json("coexistence", &result);
+}
+
+fn run_multiqueue() {
+    println!("== §VI: multiqueue interrupt steering (future work) ==");
+    let result = multiqueue::run(4, 1_000);
+    println!("{}", multiqueue::table(&result).render());
+    let _ = write_json("multiqueue", &result);
+}
+
+fn run_jumbo(quick: bool) {
+    println!("== §IV-A: jumbo frames (MTU 9000) ==");
+    let result = jumbo::run(if quick { 20 } else { 50 });
+    println!("{}", jumbo::table(&result).render());
+    let _ = write_json("jumbo", &result);
+}
+
+fn run_sensitivity(quick: bool) {
+    println!("== Cost-model sensitivity: are the conclusions robust? ==");
+    let result = sensitivity::run(if quick { 500 } else { 1_200 });
+    println!("{}", sensitivity::table(&result).render());
+    let _ = write_json("sensitivity", &result);
+}
+
+fn run_adaptive(quick: bool) {
+    println!("== §VI: adaptive coalescing ==");
+    let result = adaptive::run(if quick { 20 } else { 60 }, quick);
+    println!("{}", adaptive::table(&result).render());
+    let _ = write_json("adaptive", &result);
+}

@@ -1,0 +1,118 @@
+//! Result formatting and persistence.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table for terminal output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row/header mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", c, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if i + 1 == cols {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Write whitespace-separated data rows under `results/<name>.dat` for
+/// gnuplot (one comment header line, then one row per entry).
+pub fn write_dat(name: &str, header: &str, rows: &[Vec<String>]) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.dat"));
+    let mut out = format!("# {header}\n");
+    for row in rows {
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(())
+}
+
+/// Write a gnuplot script under `results/<name>.gp`.
+pub fn write_gnuplot(name: &str, script: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.gp")), script)?;
+    Ok(())
+}
+
+/// Write a result struct as pretty JSON under `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        assert!(s.contains("| name      | value |"));
+        assert!(s.contains("| long-name | 22    |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row/header mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

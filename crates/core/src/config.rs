@@ -1,0 +1,7 @@
+//! Re-export of the cluster configuration.
+//!
+//! The full config type lives next to the orchestrator in
+//! [`crate::system`]; this module exists so downstream code can import it
+//! from a stable, discoverable path (`omx_core::config::ClusterConfig`).
+
+pub use crate::system::{ClusterBuilder, ClusterConfig};

@@ -1,0 +1,167 @@
+//! MX-style tag matching.
+//!
+//! MX (and therefore Open-MX) matches a 64-bit *match info* against posted
+//! receives that carry a match value and a mask: a message matches a posted
+//! receive when `(msg.match_info & recv.mask) == (recv.match_value & mask)`.
+//! Receives match in post order; messages that arrive before a matching
+//! receive is posted land in the *unexpected queue* and are claimed by the
+//! next matching post.
+
+use crate::wire::{EndpointAddr, MsgId};
+use std::collections::VecDeque;
+
+/// A posted receive awaiting a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Caller-chosen identifier returned on completion.
+    pub handle: u64,
+    /// Match value.
+    pub match_value: u64,
+    /// Match mask (`!0` = exact match, `0` = wildcard).
+    pub match_mask: u64,
+}
+
+impl PostedRecv {
+    fn matches(&self, match_info: u64) -> bool {
+        (match_info & self.match_mask) == (self.match_value & self.match_mask)
+    }
+}
+
+/// A message that arrived before its receive was posted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnexpectedMsg {
+    /// Originating endpoint.
+    pub src: EndpointAddr,
+    /// Message id.
+    pub msg: MsgId,
+    /// Match info carried by the message.
+    pub match_info: u64,
+    /// Total message length.
+    pub len: u32,
+}
+
+/// The match engine of one endpoint.
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<UnexpectedMsg>,
+}
+
+impl MatchEngine {
+    /// New empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive. If an unexpected message already matches, it is
+    /// claimed immediately and returned; otherwise the receive queues.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<UnexpectedMsg> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|m| recv.matches(m.match_info))
+        {
+            return self.unexpected.remove(pos);
+        }
+        self.posted.push_back(recv);
+        None
+    }
+
+    /// An incoming message looks for a posted receive (in post order);
+    /// unmatched messages are queued as unexpected.
+    pub fn incoming(&mut self, msg: UnexpectedMsg) -> Option<PostedRecv> {
+        if let Some(pos) = self.posted.iter().position(|r| r.matches(msg.match_info)) {
+            return self.posted.remove(pos);
+        }
+        self.unexpected.push_back(msg);
+        None
+    }
+
+    /// Number of receives waiting for a message.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Number of unexpected messages waiting for a receive.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(match_info: u64) -> UnexpectedMsg {
+        UnexpectedMsg {
+            src: EndpointAddr::new(0, 0),
+            msg: MsgId(1),
+            match_info,
+            len: 64,
+        }
+    }
+
+    fn recv(handle: u64, value: u64, mask: u64) -> PostedRecv {
+        PostedRecv {
+            handle,
+            match_value: value,
+            match_mask: mask,
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let mut m = MatchEngine::new();
+        assert!(m.post_recv(recv(1, 42, !0)).is_none());
+        let r = m.incoming(msg(42)).expect("matches");
+        assert_eq!(r.handle, 1);
+        assert_eq!(m.posted_len(), 0);
+    }
+
+    #[test]
+    fn mismatch_goes_unexpected() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, 42, !0));
+        assert!(m.incoming(msg(43)).is_none());
+        assert_eq!(m.unexpected_len(), 1);
+        assert_eq!(m.posted_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_mask_matches_anything() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(9, 0xFFFF, 0));
+        assert_eq!(m.incoming(msg(0x1234)).unwrap().handle, 9);
+    }
+
+    #[test]
+    fn partial_mask_matches_prefix() {
+        let mut m = MatchEngine::new();
+        // Match on the high 32 bits only.
+        m.post_recv(recv(3, 0xAAAA_0000_0000_0000, 0xFFFF_FFFF_0000_0000));
+        assert!(m.incoming(msg(0xAAAA_0000_DEAD_BEEF)).is_some());
+        m.post_recv(recv(4, 0xAAAA_0000_0000_0000, 0xFFFF_FFFF_0000_0000));
+        assert!(m.incoming(msg(0xBBBB_0000_DEAD_BEEF)).is_none());
+    }
+
+    #[test]
+    fn late_post_claims_unexpected_fifo() {
+        let mut m = MatchEngine::new();
+        assert!(m.incoming(msg(7)).is_none());
+        let mut second = msg(7);
+        second.msg = MsgId(2);
+        assert!(m.incoming(second).is_none());
+        let claimed = m.post_recv(recv(1, 7, !0)).expect("claims unexpected");
+        assert_eq!(claimed.msg, MsgId(1), "oldest unexpected first");
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn receives_match_in_post_order() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, 5, !0));
+        m.post_recv(recv(2, 5, !0));
+        assert_eq!(m.incoming(msg(5)).unwrap().handle, 1);
+        assert_eq!(m.incoming(msg(5)).unwrap().handle, 2);
+    }
+}

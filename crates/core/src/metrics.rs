@@ -1,0 +1,138 @@
+//! Per-run measurement harvest.
+//!
+//! [`ClusterMetrics`] collects every counter the paper reports on — NIC
+//! interrupts (Tables II and V), host wakeups and cache bounces (§IV-B),
+//! retransmissions and ack volume (§IV-C2) — in one serialisable struct the
+//! experiment harness can diff across strategies.
+
+use crate::proto::DriverCounters;
+use omx_host::HostCounters;
+use omx_nic::NicCounters;
+use serde::{Deserialize, Serialize};
+
+/// Counters of one node after a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// NIC counters (interrupts, packets, marks, batch sizes).
+    pub nic: NicCounters,
+    /// Host counters (irqs serviced, wakeups, busy time, bounces).
+    pub host: HostCounters,
+    /// Driver counters (retransmits, acks, completions).
+    pub driver: DriverCounters,
+}
+
+/// Whole-cluster metrics after a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Simulated time at harvest, nanoseconds.
+    pub sim_time_ns: u64,
+    /// Frames the fabric carried successfully.
+    pub frames_carried: u64,
+    /// Frames the fabric dropped (injected loss).
+    pub frames_dropped: u64,
+    /// Per-node counters.
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Total interrupts across all nodes ("on both sides", Table II).
+    pub fn total_interrupts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.nic.interrupts.get()).sum()
+    }
+
+    /// Total packets accepted by all NICs.
+    pub fn total_packets(&self) -> u64 {
+        self.nodes.iter().map(|n| n.nic.packets.get()).sum()
+    }
+
+    /// Total C1E wakeups across all nodes.
+    pub fn total_wakeups(&self) -> u64 {
+        self.nodes.iter().map(|n| n.host.wakeups.get()).sum()
+    }
+
+    /// Total cache-line bounces across all nodes.
+    pub fn total_cache_bounces(&self) -> u64 {
+        self.nodes.iter().map(|n| n.host.cache_bounces.get()).sum()
+    }
+
+    /// Total host interrupt busy time (ns) across all nodes.
+    pub fn total_irq_busy_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.host.irq_busy_ns.get()).sum()
+    }
+
+    /// Total eager retransmissions.
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.driver.eager_retransmits.get())
+            .sum()
+    }
+
+    /// Total standalone acks sent.
+    pub fn total_acks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.driver.acks_sent.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_with(irqs: u64, wakeups: u64, acks: u64) -> NodeMetrics {
+        let mut nic = NicCounters::default();
+        nic.interrupts.add(irqs);
+        nic.packets.add(irqs * 3);
+        let mut host = HostCounters::default();
+        host.wakeups.add(wakeups);
+        host.irq_busy_ns.add(irqs * 100);
+        host.cache_bounces.add(wakeups * 2);
+        let mut driver = DriverCounters::default();
+        driver.acks_sent.add(acks);
+        driver.eager_retransmits.add(1);
+        NodeMetrics { nic, host, driver }
+    }
+
+    #[test]
+    fn totals_sum_across_nodes() {
+        let m = ClusterMetrics {
+            sim_time_ns: 1_000,
+            frames_carried: 10,
+            frames_dropped: 1,
+            nodes: vec![node_with(5, 2, 7), node_with(3, 4, 1)],
+        };
+        assert_eq!(m.total_interrupts(), 8);
+        assert_eq!(m.total_packets(), 24);
+        assert_eq!(m.total_wakeups(), 6);
+        assert_eq!(m.total_cache_bounces(), 12);
+        assert_eq!(m.total_irq_busy_ns(), 800);
+        assert_eq!(m.total_retransmits(), 2);
+        assert_eq!(m.total_acks(), 8);
+    }
+
+    #[test]
+    fn empty_cluster_is_all_zero() {
+        let m = ClusterMetrics {
+            sim_time_ns: 0,
+            frames_carried: 0,
+            frames_dropped: 0,
+            nodes: vec![],
+        };
+        assert_eq!(m.total_interrupts(), 0);
+        assert_eq!(m.total_acks(), 0);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let m = ClusterMetrics {
+            sim_time_ns: 42,
+            frames_carried: 1,
+            frames_dropped: 0,
+            nodes: vec![node_with(1, 1, 1)],
+        };
+        // The bench harness persists these; the shape must stay stable.
+        let json = serde_json::to_string(&m).expect("serializable");
+        assert!(json.contains("\"sim_time_ns\":42"));
+        let back: ClusterMetrics = serde_json::from_str(&json).expect("roundtrip");
+        assert_eq!(back.total_interrupts(), 1);
+    }
+}

@@ -1,0 +1,1586 @@
+//! The per-node Open-MX driver: send/receive protocol engine.
+//!
+//! One [`NodeDriver`] lives in each node's kernel. It owns:
+//!
+//! * the endpoint table with MX tag matching ([`crate::matching`]),
+//! * the **send path**: size classification (small / medium / large),
+//!   fragmentation, latency-sensitive marking, per-connection sequence
+//!   numbers and a packet window for flow control,
+//! * the **receive path**: reassembly of medium fragments, the large-message
+//!   **pull engine** (rendezvous → up to 4 pipelined block requests of ≤ 32
+//!   frames → notify, per §III-A), duplicate suppression, and ack
+//!   generation (piggybacked on reverse traffic; standalone after
+//!   `ack_every` packets or a delayed-ack timeout — this is the unmarked
+//!   ~20 % of traffic §IV-C2 mentions),
+//! * **reliability**: go-back-to-missing retransmission of eager packets on
+//!   timeout, and pull-block re-requests when replies stall.
+//!
+//! The driver is a *pure state machine*: every entry point takes `now` and
+//! returns a list of [`DriverAction`]s for the orchestrator to execute
+//! (packets to transmit, completions to deliver, a retransmit-timer
+//! deadline to arm). This keeps the whole protocol unit-testable without a
+//! simulator: the tests below run two drivers against each other by hand.
+
+use crate::marking::MarkingPolicy;
+use crate::matching::{MatchEngine, PostedRecv, UnexpectedMsg};
+use crate::wire::{
+    frag_count, medium_frag_payload, pull_frame_count, pull_frame_payload, EndpointAddr, MsgId,
+    OmxHeader, Packet, PacketKind, MEDIUM_MAX, PULL_BLOCK_FRAMES, PULL_PIPELINE, SMALL_MAX,
+};
+use omx_sim::stats::Counter;
+use omx_sim::{Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Protocol tunables.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProtoConfig {
+    /// Fabric MTU (fragment sizing).
+    pub mtu: u32,
+    /// Send a standalone ack after this many unacked eager packets.
+    pub ack_every: u32,
+    /// Send a standalone ack this long after the first unacked packet if no
+    /// reverse traffic piggybacked one (nanoseconds).
+    pub delayed_ack_ns: u64,
+    /// Retransmission timeout (nanoseconds).
+    pub rto_ns: u64,
+    /// Per-connection eager window, in packets.
+    pub window_packets: u32,
+    /// Marking policy applied by the send path.
+    pub marking: MarkingPolicy,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            mtu: 1500,
+            ack_every: 5,
+            delayed_ack_ns: 100_000,
+            rto_ns: 20_000_000,
+            window_packets: 128,
+            marking: MarkingPolicy::all(),
+        }
+    }
+}
+
+/// What the orchestrator must do after a driver call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverAction {
+    /// Hand a packet to the NIC TX path.
+    Transmit(Packet),
+    /// A receive completed on `ep`: deliver to the application.
+    RecvComplete {
+        /// Local endpoint index.
+        ep: u8,
+        /// Handle from the posted receive.
+        handle: u64,
+        /// Sender.
+        src: EndpointAddr,
+        /// Match info of the message.
+        match_info: u64,
+        /// Message length.
+        len: u32,
+    },
+    /// A send completed on `ep` (eager: handed to the NIC; large: notify
+    /// received).
+    SendComplete {
+        /// Local endpoint index.
+        ep: u8,
+        /// Handle from the send post.
+        handle: u64,
+    },
+    /// Arm (or move) the driver's retransmit/delayed-ack timer.
+    ArmTimer {
+        /// Absolute deadline.
+        at: Time,
+    },
+}
+
+/// Driver statistics.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct DriverCounters {
+    /// Eager data packets sent (first transmissions).
+    pub eager_sent: Counter,
+    /// Eager packets retransmitted.
+    pub eager_retransmits: Counter,
+    /// Pull blocks re-requested after a stall.
+    pub pull_rerequests: Counter,
+    /// Standalone ack packets sent.
+    pub acks_sent: Counter,
+    /// Duplicate packets discarded.
+    pub duplicates: Counter,
+    /// Receive completions delivered.
+    pub recv_completions: Counter,
+    /// Send completions delivered.
+    pub send_completions: Counter,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// Key of the receiver-side per-message state (sender address + id).
+type MsgKey = (EndpointAddr, MsgId);
+
+#[derive(Debug)]
+struct Endpoint {
+    matcher: MatchEngine,
+}
+
+/// Per-connection state. A connection is (local endpoint, remote endpoint),
+/// tracked symmetrically for both directions.
+#[derive(Debug, Default)]
+struct Conn {
+    // -- send direction --
+    /// Next eager sequence number to assign (starts at 1).
+    next_seq: u64,
+    /// Highest cumulative ack received from the peer.
+    acked: u64,
+    /// Sent, unacked eager packets (for retransmission), oldest first.
+    unacked: VecDeque<(u64, Packet, Time)>,
+    /// Messages waiting for window credits.
+    queued: VecDeque<QueuedSend>,
+    // -- receive direction --
+    /// Highest sequence received contiguously.
+    cum_recv: u64,
+    /// Sequences received above the cumulative point (reorder buffer).
+    recv_above: BTreeSet<u64>,
+    /// Eager packets received since the last ack we sent.
+    unacked_rx: u32,
+    /// Deadline of the delayed-ack timer (None = not pending).
+    ack_deadline: Option<Time>,
+}
+
+#[derive(Debug)]
+struct QueuedSend {
+    ep: u8,
+    dst: EndpointAddr,
+    len: u32,
+    match_info: u64,
+    handle: u64,
+}
+
+/// Sender-side state of one in-flight message.
+#[derive(Debug)]
+enum SendState {
+    /// Large message: waiting for pull requests / notify.
+    Large {
+        ep: u8,
+        handle: u64,
+        dst: EndpointAddr,
+        len: u32,
+    },
+}
+
+/// Receiver-side medium reassembly.
+#[derive(Debug)]
+struct MediumRx {
+    src: EndpointAddr,
+    ep: u8,
+    match_info: u64,
+    total_len: u32,
+    frag_count: u32,
+    received: BTreeSet<u32>,
+    /// Set once matched against a posted receive.
+    handle: Option<u64>,
+    done: bool,
+}
+
+/// Receiver-side pull engine state for one large message.
+#[derive(Debug)]
+struct PullRx {
+    src: EndpointAddr,
+    ep: u8,
+    handle: u64,
+    match_info: u64,
+    total_len: u32,
+    total_frames: u32,
+    total_blocks: u32,
+    /// Frames received per block.
+    block_frames: Vec<u32>,
+    /// Next block index to request.
+    next_block: u32,
+    /// Blocks fully received.
+    blocks_done: u32,
+    /// Last time any reply arrived (stall detection).
+    last_progress: Time,
+    done: bool,
+}
+
+impl PullRx {
+    fn frames_in_block(&self, block: u32) -> u32 {
+        let full = self.total_frames / PULL_BLOCK_FRAMES;
+        if block < full {
+            PULL_BLOCK_FRAMES
+        } else {
+            self.total_frames - full * PULL_BLOCK_FRAMES
+        }
+    }
+}
+
+/// The per-node driver.
+pub struct NodeDriver {
+    local: u16,
+    cfg: ProtoConfig,
+    endpoints: Vec<Endpoint>,
+    conns: HashMap<(u8, EndpointAddr), Conn>,
+    sends: HashMap<MsgId, SendState>,
+    mediums: HashMap<MsgKey, MediumRx>,
+    pulls: HashMap<MsgKey, PullRx>,
+    /// Small messages that arrived before their receive was posted are fully
+    /// described by the unexpected-match entry; mediums/larges need the maps
+    /// above. Completed message keys (dup suppression after completion).
+    finished: std::collections::HashSet<MsgKey>,
+    next_msg: u64,
+    counters: DriverCounters,
+}
+
+impl NodeDriver {
+    /// Create the driver of node `local` with `endpoints` attach points.
+    pub fn new(local: u16, endpoints: usize, cfg: ProtoConfig) -> Self {
+        NodeDriver {
+            local,
+            cfg,
+            endpoints: (0..endpoints)
+                .map(|_| Endpoint {
+                    matcher: MatchEngine::new(),
+                })
+                .collect(),
+            conns: HashMap::new(),
+            sends: HashMap::new(),
+            mediums: HashMap::new(),
+            pulls: HashMap::new(),
+            finished: std::collections::HashSet::new(),
+            next_msg: 0,
+            counters: DriverCounters::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u16 {
+        self.local
+    }
+
+    /// Statistics.
+    pub fn counters(&self) -> &DriverCounters {
+        &self.counters
+    }
+
+    /// Config in force.
+    pub fn config(&self) -> &ProtoConfig {
+        &self.cfg
+    }
+
+    fn addr(&self, ep: u8) -> EndpointAddr {
+        EndpointAddr::new(self.local, ep)
+    }
+
+    fn conn(&mut self, ep: u8, remote: EndpointAddr) -> &mut Conn {
+        self.conns.entry((ep, remote)).or_default()
+    }
+
+    // -- application entry points ---------------------------------------------
+
+    /// Post a receive on endpoint `ep`.
+    pub fn post_recv(
+        &mut self,
+        now: Time,
+        ep: u8,
+        match_value: u64,
+        match_mask: u64,
+        handle: u64,
+    ) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        let posted = PostedRecv {
+            handle,
+            match_value,
+            match_mask,
+        };
+        if let Some(unexpected) = self.endpoints[ep as usize].matcher.post_recv(posted) {
+            self.claim_unexpected(now, ep, handle, unexpected, &mut actions);
+        }
+        actions
+    }
+
+    /// Post a send of `len` bytes from endpoint `ep` to `dst`.
+    pub fn post_send(
+        &mut self,
+        now: Time,
+        ep: u8,
+        dst: EndpointAddr,
+        len: u32,
+        match_info: u64,
+        handle: u64,
+    ) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        self.start_send(
+            now,
+            QueuedSend {
+                ep,
+                dst,
+                len,
+                match_info,
+                handle,
+            },
+            &mut actions,
+        );
+        actions
+    }
+
+    /// A packet addressed to this node was delivered by the receive handler.
+    pub fn handle_packet(&mut self, now: Time, pkt: Packet) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+        debug_assert_eq!(pkt.hdr.dst.node.0, self.local, "misrouted packet");
+        let local_ep = pkt.hdr.dst.endpoint;
+        let remote = pkt.hdr.src;
+
+        // Piggybacked ack always processes.
+        self.process_ack(now, local_ep, remote, pkt.hdr.ack, &mut actions);
+
+        // Eager sequencing and duplicate suppression.
+        if pkt.hdr.seq != 0 && !self.accept_eager_seq(now, local_ep, remote, pkt.hdr.seq) {
+            self.counters.duplicates.incr();
+            // Duplicates still refresh ack state so the peer stops resending.
+            self.bump_rx_ack(now, local_ep, remote, &mut actions);
+            return actions;
+        }
+
+        match pkt.kind {
+            PacketKind::Small {
+                msg,
+                match_info,
+                len,
+            } => {
+                self.rx_small(now, local_ep, remote, msg, match_info, len, &mut actions);
+                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+            }
+            PacketKind::MediumFrag {
+                msg,
+                match_info,
+                frag,
+                frag_count,
+                total_len,
+                ..
+            } => {
+                self.rx_medium(
+                    now, local_ep, remote, msg, match_info, frag, frag_count, total_len,
+                    &mut actions,
+                );
+                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+            }
+            PacketKind::Rendezvous {
+                msg,
+                match_info,
+                total_len,
+            } => {
+                self.rx_rendezvous(now, local_ep, remote, msg, match_info, total_len, &mut actions);
+                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+            }
+            PacketKind::PullRequest {
+                msg,
+                block,
+                frame_count,
+            } => {
+                self.rx_pull_request(now, local_ep, remote, msg, block, frame_count, &mut actions);
+            }
+            PacketKind::PullReply {
+                msg,
+                block,
+                frame,
+                last_of_block,
+                ..
+            } => {
+                self.rx_pull_reply(now, local_ep, remote, msg, block, frame, last_of_block, &mut actions);
+            }
+            PacketKind::Notify { msg } => {
+                self.rx_notify(now, local_ep, remote, msg, &mut actions);
+                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+            }
+            PacketKind::Ack { cumulative_seq } => {
+                self.process_ack(now, local_ep, remote, cumulative_seq, &mut actions);
+            }
+            PacketKind::TcpSegment { .. } => {
+                // Not Open-MX; nothing to do at this layer.
+            }
+        }
+        self.arm_timer_action(&mut actions);
+        actions
+    }
+
+    /// The retransmit / delayed-ack timer fired.
+    pub fn on_timer(&mut self, now: Time) -> Vec<DriverAction> {
+        let mut actions = Vec::new();
+
+        // Delayed acks.
+        let due: Vec<(u8, EndpointAddr)> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.ack_deadline.is_some_and(|d| d <= now))
+            .map(|(k, _)| *k)
+            .collect();
+        for (ep, remote) in due {
+            self.send_standalone_ack(now, ep, remote, &mut actions);
+        }
+
+        // Eager retransmissions.
+        let rto = TimeDelta::from_nanos(self.cfg.rto_ns as i64);
+        let mut resends: Vec<Packet> = Vec::new();
+        for c in self.conns.values_mut() {
+            for (_, pkt, sent_at) in c.unacked.iter_mut() {
+                if now.saturating_since(*sent_at) >= rto {
+                    *sent_at = now;
+                    resends.push(*pkt);
+                }
+            }
+        }
+        for pkt in resends {
+            self.counters.eager_retransmits.incr();
+            actions.push(DriverAction::Transmit(pkt));
+        }
+
+        // Stalled pulls: re-request incomplete in-flight blocks.
+        let stalled: Vec<MsgKey> = self
+            .pulls
+            .iter()
+            .filter(|(_, p)| !p.done && now.saturating_since(p.last_progress) >= rto)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in stalled {
+            let (requests, src_ep): (Vec<Packet>, u8) = {
+                let p = self.pulls.get_mut(&key).expect("stalled pull exists");
+                p.last_progress = now;
+                let mut reqs = Vec::new();
+                for block in 0..p.next_block {
+                    let expect = p.frames_in_block(block);
+                    if p.block_frames[block as usize] < expect {
+                        reqs.push(Packet {
+                            hdr: OmxHeader {
+                                src: EndpointAddr::new(0, 0), // filled below
+                                dst: key.0,
+                                latency_sensitive: false,
+                                seq: 0,
+                                ack: 0,
+                            },
+                            kind: PacketKind::PullRequest {
+                                msg: key.1,
+                                block,
+                                frame_count: expect,
+                            },
+                        });
+                    }
+                }
+                (reqs, p.ep)
+            };
+            for mut pkt in requests {
+                self.counters.pull_rerequests.incr();
+                pkt.hdr.src = self.addr(src_ep);
+                self.finalize_and_push(now, src_ep, pkt, &mut actions);
+            }
+        }
+
+        self.arm_timer_action(&mut actions);
+        actions
+    }
+
+    /// Earliest pending deadline (retransmit or delayed ack), if any.
+    pub fn next_deadline(&self) -> Option<Time> {
+        let rto = TimeDelta::from_nanos(self.cfg.rto_ns as i64);
+        let mut next: Option<Time> = None;
+        let mut consider = |t: Time| {
+            next = Some(match next {
+                Some(n) if n <= t => n,
+                _ => t,
+            });
+        };
+        for c in self.conns.values() {
+            if let Some(d) = c.ack_deadline {
+                consider(d);
+            }
+            if let Some((_, _, sent_at)) = c.unacked.front() {
+                consider(*sent_at + rto);
+            }
+        }
+        for p in self.pulls.values() {
+            if !p.done {
+                consider(p.last_progress + rto);
+            }
+        }
+        next
+    }
+
+    // -- send path -------------------------------------------------------------
+
+    fn start_send(&mut self, now: Time, send: QueuedSend, actions: &mut Vec<DriverAction>) {
+        // Window check (eager classes only; large messages are self-paced by
+        // the pull protocol, but their rendezvous/notify ride the window too
+        // — treat them as a single-packet eager cost).
+        let pkts_needed = if send.len <= SMALL_MAX {
+            1
+        } else if send.len <= MEDIUM_MAX {
+            frag_count(send.len, self.cfg.mtu)
+        } else {
+            1 // the rendezvous
+        };
+        {
+            let window = self.cfg.window_packets;
+            let conn = self.conn(send.ep, send.dst);
+            let inflight = conn.unacked.len() as u32;
+            if !conn.queued.is_empty() || inflight + pkts_needed > window {
+                conn.queued.push_back(send);
+                return;
+            }
+        }
+        self.emit_send(now, send, actions);
+    }
+
+    fn emit_send(&mut self, now: Time, send: QueuedSend, actions: &mut Vec<DriverAction>) {
+        let msg = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let src = self.addr(send.ep);
+
+        if send.len <= SMALL_MAX {
+            let pkt = Packet {
+                hdr: OmxHeader {
+                    src,
+                    dst: send.dst,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::Small {
+                    msg,
+                    match_info: send.match_info,
+                    len: send.len,
+                },
+            };
+            self.counters.eager_sent.incr();
+            self.finalize_eager_and_push(now, send.ep, pkt, actions);
+            self.counters.send_completions.incr();
+            actions.push(DriverAction::SendComplete {
+                ep: send.ep,
+                handle: send.handle,
+            });
+        } else if send.len <= MEDIUM_MAX {
+            let count = frag_count(send.len, self.cfg.mtu);
+            let per = medium_frag_payload(self.cfg.mtu);
+            for frag in 0..count {
+                let frag_len = if frag + 1 == count {
+                    send.len - per * (count - 1)
+                } else {
+                    per
+                };
+                let pkt = Packet {
+                    hdr: OmxHeader {
+                        src,
+                        dst: send.dst,
+                        latency_sensitive: false,
+                        seq: 0,
+                        ack: 0,
+                    },
+                    kind: PacketKind::MediumFrag {
+                        msg,
+                        match_info: send.match_info,
+                        frag,
+                        frag_count: count,
+                        frag_len,
+                        total_len: send.len,
+                    },
+                };
+                self.counters.eager_sent.incr();
+                self.finalize_eager_and_push(now, send.ep, pkt, actions);
+            }
+            self.counters.send_completions.incr();
+            actions.push(DriverAction::SendComplete {
+                ep: send.ep,
+                handle: send.handle,
+            });
+        } else {
+            // Large: rendezvous now; completion on notify.
+            self.sends.insert(
+                msg,
+                SendState::Large {
+                    ep: send.ep,
+                    handle: send.handle,
+                    dst: send.dst,
+                    len: send.len,
+                },
+            );
+            let pkt = Packet {
+                hdr: OmxHeader {
+                    src,
+                    dst: send.dst,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::Rendezvous {
+                    msg,
+                    match_info: send.match_info,
+                    total_len: send.len,
+                },
+            };
+            self.counters.eager_sent.incr();
+            self.finalize_eager_and_push(now, send.ep, pkt, actions);
+        }
+    }
+
+    /// Assign a sequence number, apply marking + piggyback ack, record for
+    /// retransmission, and emit.
+    fn finalize_eager_and_push(
+        &mut self,
+        now: Time,
+        ep: u8,
+        mut pkt: Packet,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        // Marking must be applied before the packet is stored for
+        // retransmission so a resent packet keeps its marker.
+        self.cfg.marking.apply(&mut pkt);
+        let remote = pkt.hdr.dst;
+        let conn = self.conn(ep, remote);
+        conn.next_seq += 1;
+        pkt.hdr.seq = conn.next_seq;
+        conn.unacked.push_back((pkt.hdr.seq, pkt, now));
+        self.finalize_and_push(now, ep, pkt, actions);
+    }
+
+    /// Apply marking + piggyback ack and emit (no sequencing — used for
+    /// pull traffic, which has its own recovery).
+    fn finalize_and_push(
+        &mut self,
+        now: Time,
+        ep: u8,
+        mut pkt: Packet,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        self.cfg.marking.apply(&mut pkt);
+        let remote = pkt.hdr.dst;
+        let conn = self.conn(ep, remote);
+        // Piggyback the reverse-direction cumulative ack.
+        pkt.hdr.ack = conn.cum_recv;
+        conn.unacked_rx = 0;
+        conn.ack_deadline = None;
+        let _ = now;
+        actions.push(DriverAction::Transmit(pkt));
+    }
+
+    // -- ack handling ------------------------------------------------------------
+
+    fn process_ack(
+        &mut self,
+        now: Time,
+        ep: u8,
+        remote: EndpointAddr,
+        ack: u64,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let window = self.cfg.window_packets;
+        let mtu = self.cfg.mtu;
+        let released = {
+            let conn = self.conn(ep, remote);
+            if ack <= conn.acked {
+                Vec::new()
+            } else {
+                conn.acked = ack;
+                while conn
+                    .unacked
+                    .front()
+                    .is_some_and(|(seq, _, _)| *seq <= ack)
+                {
+                    conn.unacked.pop_front();
+                }
+                // Release queued sends that now fit the window.
+                let mut released: Vec<QueuedSend> = Vec::new();
+                loop {
+                    let inflight = conn.unacked.len() as u32
+                        + released
+                            .iter()
+                            .map(|s| {
+                                if s.len <= SMALL_MAX {
+                                    1
+                                } else if s.len <= MEDIUM_MAX {
+                                    frag_count(s.len, mtu)
+                                } else {
+                                    1
+                                }
+                            })
+                            .sum::<u32>();
+                    let Some(front) = conn.queued.front() else {
+                        break;
+                    };
+                    let need = if front.len <= SMALL_MAX {
+                        1
+                    } else if front.len <= MEDIUM_MAX {
+                        frag_count(front.len, mtu)
+                    } else {
+                        1
+                    };
+                    if inflight + need > window {
+                        break;
+                    }
+                    released.push(conn.queued.pop_front().expect("front exists"));
+                }
+                released
+            }
+        };
+        for send in released {
+            self.emit_send(now, send, actions);
+        }
+    }
+
+    fn accept_eager_seq(&mut self, _now: Time, ep: u8, remote: EndpointAddr, seq: u64) -> bool {
+        let conn = self.conn(ep, remote);
+        if seq <= conn.cum_recv || conn.recv_above.contains(&seq) {
+            return false;
+        }
+        conn.recv_above.insert(seq);
+        while conn.recv_above.remove(&(conn.cum_recv + 1)) {
+            conn.cum_recv += 1;
+        }
+        true
+    }
+
+    fn bump_rx_ack(
+        &mut self,
+        now: Time,
+        ep: u8,
+        remote: EndpointAddr,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let (should_ack_now, arm) = {
+            let delayed = TimeDelta::from_nanos(self.cfg.delayed_ack_ns as i64);
+            let ack_every = self.cfg.ack_every;
+            let conn = self.conn(ep, remote);
+            conn.unacked_rx += 1;
+            if conn.unacked_rx >= ack_every {
+                (true, false)
+            } else {
+                if conn.ack_deadline.is_none() {
+                    conn.ack_deadline = Some(now + delayed);
+                }
+                (false, true)
+            }
+        };
+        if should_ack_now {
+            self.send_standalone_ack(now, ep, remote, actions);
+        }
+        let _ = arm;
+    }
+
+    fn send_standalone_ack(
+        &mut self,
+        _now: Time,
+        ep: u8,
+        remote: EndpointAddr,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let cum = {
+            let conn = self.conn(ep, remote);
+            conn.unacked_rx = 0;
+            conn.ack_deadline = None;
+            conn.cum_recv
+        };
+        let pkt = Packet {
+            hdr: OmxHeader {
+                src: self.addr(ep),
+                dst: remote,
+                latency_sensitive: false,
+                seq: 0,
+                ack: cum,
+            },
+            kind: PacketKind::Ack {
+                cumulative_seq: cum,
+            },
+        };
+        self.counters.acks_sent.incr();
+        actions.push(DriverAction::Transmit(pkt));
+    }
+
+    // -- receive path ------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_small(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        match_info: u64,
+        len: u32,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let key = (src, msg);
+        if self.finished.contains(&key) {
+            self.counters.duplicates.incr();
+            return;
+        }
+        let incoming = UnexpectedMsg {
+            src,
+            msg,
+            match_info,
+            len,
+        };
+        if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
+            self.finished.insert(key);
+            self.counters.recv_completions.incr();
+            actions.push(DriverAction::RecvComplete {
+                ep,
+                handle: recv.handle,
+                src,
+                match_info,
+                len,
+            });
+        }
+        let _ = now;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_medium(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        match_info: u64,
+        frag: u32,
+        frag_count: u32,
+        total_len: u32,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let key = (src, msg);
+        if self.finished.contains(&key) {
+            self.counters.duplicates.incr();
+            return;
+        }
+        let entry = self.mediums.entry(key).or_insert_with(|| MediumRx {
+            src,
+            ep,
+            match_info,
+            total_len,
+            frag_count,
+            received: BTreeSet::new(),
+            handle: None,
+            done: false,
+        });
+        let fresh_msg = entry.received.is_empty();
+        entry.received.insert(frag);
+
+        if fresh_msg {
+            // First fragment performs the match.
+            let incoming = UnexpectedMsg {
+                src,
+                msg,
+                match_info,
+                len: total_len,
+            };
+            if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
+                self.mediums
+                    .get_mut(&key)
+                    .expect("just inserted")
+                    .handle = Some(recv.handle);
+            }
+        }
+        self.try_complete_medium(now, key, actions);
+    }
+
+    fn try_complete_medium(&mut self, _now: Time, key: MsgKey, actions: &mut Vec<DriverAction>) {
+        let Some(m) = self.mediums.get(&key) else {
+            return;
+        };
+        if m.done || m.handle.is_none() || (m.received.len() as u32) < m.frag_count {
+            return;
+        }
+        let m = self.mediums.remove(&key).expect("checked above");
+        self.finished.insert(key);
+        self.counters.recv_completions.incr();
+        actions.push(DriverAction::RecvComplete {
+            ep: m.ep,
+            handle: m.handle.expect("matched"),
+            src: m.src,
+            match_info: m.match_info,
+            len: m.total_len,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_rendezvous(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        match_info: u64,
+        total_len: u32,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let key = (src, msg);
+        if self.finished.contains(&key) || self.pulls.contains_key(&key) {
+            self.counters.duplicates.incr();
+            return;
+        }
+        let incoming = UnexpectedMsg {
+            src,
+            msg,
+            match_info,
+            len: total_len,
+        };
+        if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
+            self.begin_pull(now, ep, src, msg, match_info, total_len, recv.handle, actions);
+        }
+        // Unmatched rendezvous sits in the unexpected queue; the pull starts
+        // when a matching receive is posted (claim_unexpected).
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn begin_pull(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        match_info: u64,
+        total_len: u32,
+        handle: u64,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let total_frames = pull_frame_count(total_len, self.cfg.mtu);
+        let total_blocks = total_frames.div_ceil(PULL_BLOCK_FRAMES);
+        let mut pull = PullRx {
+            src,
+            ep,
+            handle,
+            match_info,
+            total_len,
+            total_frames,
+            total_blocks,
+            block_frames: vec![0; total_blocks as usize],
+            next_block: 0,
+            blocks_done: 0,
+            last_progress: now,
+            done: false,
+        };
+        let first_wave = total_blocks.min(PULL_PIPELINE);
+        let mut requests = Vec::new();
+        for block in 0..first_wave {
+            requests.push(Packet {
+                hdr: OmxHeader {
+                    src: self.addr(ep),
+                    dst: src,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::PullRequest {
+                    msg,
+                    block,
+                    frame_count: pull.frames_in_block(block),
+                },
+            });
+        }
+        pull.next_block = first_wave;
+        self.pulls.insert((src, msg), pull);
+        for pkt in requests {
+            self.finalize_and_push(now, ep, pkt, actions);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_pull_request(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        block: u32,
+        frame_count: u32,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        // We are the *sender* of the large message; answer with data frames.
+        let Some(SendState::Large { len, dst, .. }) = self.sends.get(&msg) else {
+            // Unknown (already completed): stale re-request; ignore.
+            self.counters.duplicates.incr();
+            return;
+        };
+        debug_assert_eq!(*dst, src, "pull request from unexpected peer");
+        let total_len = *len;
+        let per = pull_frame_payload(self.cfg.mtu);
+        let total_frames = pull_frame_count(total_len, self.cfg.mtu);
+        let base_frame = block * PULL_BLOCK_FRAMES;
+        let mut replies = Vec::new();
+        for frame in 0..frame_count {
+            let global = base_frame + frame;
+            debug_assert!(global < total_frames);
+            let frame_len = if global + 1 == total_frames {
+                total_len - per * (total_frames - 1)
+            } else {
+                per
+            };
+            replies.push(Packet {
+                hdr: OmxHeader {
+                    src: self.addr(ep),
+                    dst: src,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::PullReply {
+                    msg,
+                    block,
+                    frame,
+                    frame_len,
+                    last_of_block: frame + 1 == frame_count,
+                },
+            });
+        }
+        for pkt in replies {
+            self.finalize_and_push(now, ep, pkt, actions);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rx_pull_reply(
+        &mut self,
+        now: Time,
+        ep: u8,
+        src: EndpointAddr,
+        msg: MsgId,
+        block: u32,
+        _frame: u32,
+        _last_of_block: bool,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let key = (src, msg);
+        let Some(pull) = self.pulls.get_mut(&key) else {
+            self.counters.duplicates.incr();
+            return;
+        };
+        if pull.done {
+            return;
+        }
+        pull.last_progress = now;
+        let expect = pull.frames_in_block(block);
+        let got = &mut pull.block_frames[block as usize];
+        if *got >= expect {
+            // Duplicate frame within a re-requested block; ignore.
+            return;
+        }
+        *got += 1;
+        let block_complete = *got == expect;
+        if block_complete {
+            pull.blocks_done += 1;
+        }
+        let all_done = pull.blocks_done == pull.total_blocks;
+        let next_block = if block_complete && pull.next_block < pull.total_blocks {
+            let b = pull.next_block;
+            pull.next_block += 1;
+            Some((b, pull.frames_in_block(b)))
+        } else {
+            None
+        };
+        if let Some((b, fc)) = next_block {
+            let pkt = Packet {
+                hdr: OmxHeader {
+                    src: self.addr(ep),
+                    dst: src,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::PullRequest {
+                    msg,
+                    block: b,
+                    frame_count: fc,
+                },
+            };
+            self.finalize_and_push(now, ep, pkt, actions);
+        }
+        if all_done {
+            let pull = self.pulls.remove(&key).expect("pull exists");
+            self.finished.insert(key);
+            // Notify the sender, then complete the receive.
+            let notify = Packet {
+                hdr: OmxHeader {
+                    src: self.addr(ep),
+                    dst: src,
+                    latency_sensitive: false,
+                    seq: 0,
+                    ack: 0,
+                },
+                kind: PacketKind::Notify { msg },
+            };
+            self.counters.eager_sent.incr();
+            self.finalize_eager_and_push(now, ep, notify, actions);
+            self.counters.recv_completions.incr();
+            actions.push(DriverAction::RecvComplete {
+                ep: pull.ep,
+                handle: pull.handle,
+                src: pull.src,
+                match_info: pull.match_info,
+                len: pull.total_len,
+            });
+        }
+    }
+
+    fn rx_notify(
+        &mut self,
+        _now: Time,
+        _ep: u8,
+        _src: EndpointAddr,
+        msg: MsgId,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        if let Some(SendState::Large { ep, handle, .. }) = self.sends.remove(&msg) {
+            self.counters.send_completions.incr();
+            actions.push(DriverAction::SendComplete { ep, handle });
+        } else {
+            self.counters.duplicates.incr();
+        }
+    }
+
+    fn claim_unexpected(
+        &mut self,
+        now: Time,
+        ep: u8,
+        handle: u64,
+        unexpected: UnexpectedMsg,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let key = (unexpected.src, unexpected.msg);
+        if unexpected.len <= SMALL_MAX {
+            self.finished.insert(key);
+            self.counters.recv_completions.incr();
+            actions.push(DriverAction::RecvComplete {
+                ep,
+                handle,
+                src: unexpected.src,
+                match_info: unexpected.match_info,
+                len: unexpected.len,
+            });
+        } else if unexpected.len <= MEDIUM_MAX {
+            if let Some(m) = self.mediums.get_mut(&key) {
+                m.handle = Some(handle);
+            }
+            self.try_complete_medium(now, key, actions);
+        } else {
+            self.begin_pull(
+                now,
+                ep,
+                unexpected.src,
+                unexpected.msg,
+                unexpected.match_info,
+                unexpected.len,
+                handle,
+                actions,
+            );
+        }
+    }
+
+    fn arm_timer_action(&self, actions: &mut Vec<DriverAction>) {
+        if let Some(at) = self.next_deadline() {
+            actions.push(DriverAction::ArmTimer { at });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive two drivers against each other, instantly delivering packets.
+    /// Returns all non-transmit actions seen on each side.
+    fn pump(
+        a: &mut NodeDriver,
+        b: &mut NodeDriver,
+        mut pending: Vec<(u16, Packet)>, // (destination node, packet)
+        now: Time,
+    ) -> (Vec<DriverAction>, Vec<DriverAction>) {
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        let mut guard = 0;
+        while let Some((dst, pkt)) = pending.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "protocol livelock");
+            let target = if dst == a.node() { &mut *a } else { &mut *b };
+            let actions = target.handle_packet(now, pkt);
+            let sink = if dst == a.node() {
+                &mut out_a
+            } else {
+                &mut out_b
+            };
+            for act in actions {
+                match act {
+                    DriverAction::Transmit(p) => pending.push((p.hdr.dst.node.0, p)),
+                    DriverAction::ArmTimer { .. } => {}
+                    other => sink.push(other),
+                }
+            }
+        }
+        (out_a, out_b)
+    }
+
+    fn split_transmits(actions: Vec<DriverAction>) -> (Vec<Packet>, Vec<DriverAction>) {
+        let mut pkts = Vec::new();
+        let mut rest = Vec::new();
+        for a in actions {
+            match a {
+                DriverAction::Transmit(p) => pkts.push(p),
+                DriverAction::ArmTimer { .. } => {}
+                other => rest.push(other),
+            }
+        }
+        (pkts, rest)
+    }
+
+    fn pair() -> (NodeDriver, NodeDriver) {
+        (
+            NodeDriver::new(0, 1, ProtoConfig::default()),
+            NodeDriver::new(1, 1, ProtoConfig::default()),
+        )
+    }
+
+    fn t0() -> Time {
+        Time::from_micros(1)
+    }
+
+    #[test]
+    fn small_message_end_to_end() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 7, !0, 100);
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, 7, 200);
+        let (pkts, rest) = split_transmits(actions);
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].hdr.latency_sensitive, "small messages are marked");
+        assert_eq!(pkts[0].hdr.seq, 1);
+        assert!(matches!(
+            rest[0],
+            DriverAction::SendComplete { handle: 200, .. }
+        ));
+        let (_, recv_side) = pump(&mut a, &mut b, vec![(1, pkts[0])], t0());
+        assert!(matches!(
+            recv_side[0],
+            DriverAction::RecvComplete {
+                handle: 100,
+                len: 64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn small_message_unexpected_then_posted() {
+        let (mut a, mut b) = pair();
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 32, 9, 1);
+        let (pkts, _) = split_transmits(actions);
+        let (_, recv_side) = pump(&mut a, &mut b, vec![(1, pkts[0])], t0());
+        assert!(recv_side.is_empty(), "no receive posted yet");
+        let acts = b.post_recv(t0(), 0, 9, !0, 55);
+        assert!(matches!(
+            acts[0],
+            DriverAction::RecvComplete { handle: 55, .. }
+        ));
+    }
+
+    #[test]
+    fn medium_message_fragments_and_completes() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 1, !0, 9);
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 32 * 1024, 1, 10);
+        let (pkts, _) = split_transmits(actions);
+        assert_eq!(pkts.len(), 23, "32 KiB at MTU 1500 = 23 fragments");
+        // Only the last fragment is marked.
+        let marks: Vec<bool> = pkts.iter().map(|p| p.hdr.latency_sensitive).collect();
+        assert!(!marks[..22].iter().any(|&m| m));
+        assert!(marks[22]);
+        let deliveries: Vec<(u16, Packet)> = pkts.iter().map(|p| (1, *p)).collect();
+        let (_, recv_side) = pump(&mut a, &mut b, deliveries, t0());
+        assert_eq!(
+            recv_side
+                .iter()
+                .filter(|a| matches!(a, DriverAction::RecvComplete { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn medium_message_tolerates_reordered_fragments() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 1, !0, 9);
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 8 * 1024, 1, 10);
+        let (mut pkts, _) = split_transmits(actions);
+        pkts.reverse(); // worst-case mis-ordering
+        let deliveries: Vec<(u16, Packet)> = pkts.iter().map(|p| (1, *p)).collect();
+        let (_, recv_side) = pump(&mut a, &mut b, deliveries, t0());
+        assert!(recv_side
+            .iter()
+            .any(|a| matches!(a, DriverAction::RecvComplete { len: 8192, .. })));
+    }
+
+    #[test]
+    fn large_message_pull_protocol_end_to_end() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 3, !0, 77);
+        let len = 234 * 1024;
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), len, 3, 88);
+        let (pkts, rest) = split_transmits(actions);
+        assert_eq!(pkts.len(), 1, "only the rendezvous goes out first");
+        assert!(matches!(pkts[0].kind, PacketKind::Rendezvous { .. }));
+        assert!(pkts[0].hdr.latency_sensitive);
+        assert!(rest.is_empty(), "large send completes only on notify");
+
+        let (sender_side, recv_side) = pump(&mut a, &mut b, vec![(1, pkts[0])], t0());
+        assert!(
+            matches!(recv_side[0], DriverAction::RecvComplete { handle: 77, len: l, .. } if l == len)
+        );
+        assert!(matches!(
+            sender_side[0],
+            DriverAction::SendComplete { handle: 88, .. }
+        ));
+    }
+
+    #[test]
+    fn pull_request_counts_match_paper() {
+        // 234 KiB: 5 blocks of 32 frames, 162 packets total (§IV-C3).
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 3, !0, 77);
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 234 * 1024, 3, 88);
+        let (pkts, _) = split_transmits(actions);
+
+        // Count every packet moved until quiescence.
+        let mut pending: Vec<(u16, Packet)> = vec![(1, pkts[0])];
+        let mut counts: HashMap<&'static str, u32> = HashMap::new();
+        while let Some((dst, pkt)) = pending.pop() {
+            let label = match pkt.kind {
+                PacketKind::Rendezvous { .. } => "rendezvous",
+                PacketKind::PullRequest { .. } => "request",
+                PacketKind::PullReply { .. } => "reply",
+                PacketKind::Notify { .. } => "notify",
+                PacketKind::Ack { .. } => "ack",
+                _ => "other",
+            };
+            *counts.entry(label).or_default() += 1;
+            let target = if dst == 0 { &mut a } else { &mut b };
+            for act in target.handle_packet(t0(), pkt) {
+                if let DriverAction::Transmit(p) = act {
+                    pending.push((p.hdr.dst.node.0, p));
+                }
+            }
+        }
+        assert_eq!(counts["rendezvous"], 1);
+        assert_eq!(counts["request"], 5);
+        assert_eq!(counts["reply"], 160);
+        assert_eq!(counts["notify"], 1);
+    }
+
+    #[test]
+    fn pull_reply_marking_last_of_each_block() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 3, !0, 77);
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 234 * 1024, 3, 88);
+        let (pkts, _) = split_transmits(actions);
+        let mut pending: Vec<(u16, Packet)> = vec![(1, pkts[0])];
+        let mut marked_replies = 0;
+        let mut replies = 0;
+        while let Some((dst, pkt)) = pending.pop() {
+            if matches!(pkt.kind, PacketKind::PullReply { .. }) {
+                replies += 1;
+                if pkt.hdr.latency_sensitive {
+                    marked_replies += 1;
+                }
+            }
+            let target = if dst == 0 { &mut a } else { &mut b };
+            for act in target.handle_packet(t0(), pkt) {
+                if let DriverAction::Transmit(p) = act {
+                    pending.push((p.hdr.dst.node.0, p));
+                }
+            }
+        }
+        assert_eq!(replies, 160);
+        assert_eq!(marked_replies, 5, "one marked reply per block");
+    }
+
+    #[test]
+    fn window_queues_and_releases_on_ack() {
+        let cfg = ProtoConfig {
+            window_packets: 2,
+            ack_every: 1, // receiver acks every packet
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let mut b = NodeDriver::new(1, 1, cfg);
+        let dst = EndpointAddr::new(1, 0);
+        // Three sends of one packet each against a window of two.
+        let (p1, _) = split_transmits(a.post_send(t0(), 0, dst, 8, 1, 1));
+        let (p2, _) = split_transmits(a.post_send(t0(), 0, dst, 8, 2, 2));
+        let (p3, r3) = split_transmits(a.post_send(t0(), 0, dst, 8, 3, 3));
+        assert_eq!(p1.len() + p2.len(), 2);
+        assert!(p3.is_empty(), "third send is window-blocked");
+        assert!(r3.is_empty(), "no premature completion");
+
+        // Deliver the first packet; the ack releases the queued send.
+        let acts = b.handle_packet(t0(), p1[0]);
+        let (acks, _) = split_transmits(acts);
+        assert_eq!(acks.len(), 1, "standalone ack");
+        let release = a.handle_packet(t0(), acks[0]);
+        let (released, comps) = split_transmits(release);
+        assert_eq!(released.len(), 1, "queued send released");
+        assert!(matches!(
+            released[0].kind,
+            PacketKind::Small { match_info: 3, .. }
+        ));
+        assert!(comps
+            .iter()
+            .any(|c| matches!(c, DriverAction::SendComplete { handle: 3, .. })));
+    }
+
+    #[test]
+    fn duplicate_eager_packet_is_suppressed() {
+        let (mut a, mut b) = pair();
+        b.post_recv(t0(), 0, 7, !0, 100);
+        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 16, 7, 1));
+        let first = b.handle_packet(t0(), pkts[0]);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, DriverAction::RecvComplete { .. })));
+        let again = b.handle_packet(t0(), pkts[0]);
+        assert!(
+            !again
+                .iter()
+                .any(|a| matches!(a, DriverAction::RecvComplete { .. })),
+            "duplicate must not complete twice"
+        );
+        assert!(b.counters().duplicates.get() >= 1);
+    }
+
+    #[test]
+    fn retransmit_fires_after_rto() {
+        let cfg = ProtoConfig {
+            rto_ns: 1_000_000,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 16, 7, 1));
+        assert_eq!(pkts.len(), 1);
+        // No ack ever arrives; fire the timer after the RTO.
+        let later = t0() + TimeDelta::from_millis(2);
+        let acts = a.on_timer(later);
+        let (resent, _) = split_transmits(acts);
+        assert_eq!(resent.len(), 1);
+        assert_eq!(resent[0].hdr.seq, pkts[0].hdr.seq);
+        assert_eq!(a.counters().eager_retransmits.get(), 1);
+    }
+
+    #[test]
+    fn delayed_ack_fires_on_timer() {
+        let cfg = ProtoConfig {
+            ack_every: 100, // force the delayed path
+            delayed_ack_ns: 50_000,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let mut b = NodeDriver::new(1, 1, cfg);
+        b.post_recv(t0(), 0, 7, !0, 1);
+        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 16, 7, 1));
+        let acts = b.handle_packet(t0(), pkts[0]);
+        let (tx, _) = split_transmits(acts.clone());
+        assert!(tx.is_empty(), "ack is delayed");
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, DriverAction::ArmTimer { .. })));
+        let deadline = b.next_deadline().expect("delayed-ack deadline");
+        let acts = b.on_timer(deadline);
+        let (tx, _) = split_transmits(acts);
+        assert_eq!(tx.len(), 1);
+        assert!(matches!(tx[0].kind, PacketKind::Ack { cumulative_seq: 1 }));
+    }
+
+    #[test]
+    fn acks_are_never_marked_and_carry_no_seq() {
+        let cfg = ProtoConfig {
+            ack_every: 1,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let mut b = NodeDriver::new(1, 1, cfg);
+        b.post_recv(t0(), 0, 7, !0, 1);
+        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 16, 7, 1));
+        let acts = b.handle_packet(t0(), pkts[0]);
+        let (tx, _) = split_transmits(acts);
+        assert_eq!(tx.len(), 1);
+        assert!(!tx[0].hdr.latency_sensitive);
+        assert_eq!(tx[0].hdr.seq, 0);
+    }
+
+    #[test]
+    fn lost_pull_block_is_rerequested() {
+        let cfg = ProtoConfig {
+            rto_ns: 1_000_000,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let mut b = NodeDriver::new(1, 1, cfg);
+        b.post_recv(t0(), 0, 3, !0, 77);
+        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 100 * 1024, 3, 88));
+        // Deliver the rendezvous; capture the pull requests and DROP them all.
+        let acts = b.handle_packet(t0(), pkts[0]);
+        let (reqs, _) = split_transmits(acts);
+        assert!(!reqs.is_empty());
+        // Fire the receiver's timer after the RTO: blocks are re-requested.
+        let later = t0() + TimeDelta::from_millis(2);
+        let acts = b.on_timer(later);
+        let (tx, _) = split_transmits(acts);
+        // The same timer may also flush the delayed ack of the rendezvous;
+        // count only the pull requests.
+        let rereqs: Vec<Packet> = tx
+            .into_iter()
+            .filter(|p| matches!(p.kind, PacketKind::PullRequest { .. }))
+            .collect();
+        assert_eq!(rereqs.len(), reqs.len(), "all in-flight blocks re-requested");
+        assert!(b.counters().pull_rerequests.get() >= 1);
+        // Deliver the re-requests: transfer completes normally.
+        let deliveries: Vec<(u16, Packet)> = rereqs.iter().map(|p| (0, *p)).collect();
+        let (sender_side, recv_side) = pump(&mut a, &mut b, deliveries, later);
+        assert!(recv_side
+            .iter()
+            .any(|x| matches!(x, DriverAction::RecvComplete { .. })));
+        assert!(sender_side
+            .iter()
+            .any(|x| matches!(x, DriverAction::SendComplete { .. })));
+    }
+
+    #[test]
+    fn ack_share_of_small_stream_is_about_twenty_percent() {
+        // §IV-C2: acks are "up to 20 % of the traffic" on a small stream.
+        let cfg = ProtoConfig {
+            ack_every: 5,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let mut b = NodeDriver::new(1, 1, cfg);
+        let mut data = 0u32;
+        let mut acks = 0u32;
+        for i in 0..200 {
+            b.post_recv(t0(), 0, i, !0, i);
+        }
+        for i in 0..200 {
+            let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, i, i));
+            for p in pkts {
+                data += 1;
+                let acts = b.handle_packet(t0(), p);
+                let (tx, _) = split_transmits(acts);
+                for t in tx {
+                    if matches!(t.kind, PacketKind::Ack { .. }) {
+                        acks += 1;
+                        // Feed the ack back so the window never blocks.
+                        a.handle_packet(t0(), t);
+                    }
+                }
+            }
+        }
+        let share = acks as f64 / (acks + data) as f64;
+        assert!(
+            (0.14..=0.20).contains(&share),
+            "ack share {share} not ~1/6 of total"
+        );
+    }
+}

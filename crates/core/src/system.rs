@@ -1,0 +1,1311 @@
+//! The cluster orchestrator.
+//!
+//! [`Cluster`] wires every substrate into one simulated testbed:
+//!
+//! ```text
+//!   actor (application rank, pinned to a core)
+//!     │ post_send / post_recv             ▲ completions (event ring poll)
+//!     ▼                                   │
+//!   NodeDriver (kernel)  ◄── receive handler runs in IRQ context
+//!     │ Transmit                          ▲ batch of ready packets
+//!     ▼                                   │
+//!   Nic (DMA, coalescing) ── interrupt ─► Host (core, sleep, cache)
+//!     │                                   ▲
+//!     ▼ frames                            │ frames
+//!   EthernetFabric (links, switch, disturbance)
+//! ```
+//!
+//! The whole cluster is a single [`omx_sim::Model`]; every hardware and
+//! software latency is charged through the [`omx_host::CostModel`], so the
+//! paper's experiments are a matter of configuring strategy/routing/sleep
+//! knobs and reading [`crate::metrics::ClusterMetrics`] back.
+//!
+//! Intra-node messages use the Open-MX shared-memory path (no NIC, no
+//! interrupts), matching the paper's NAS runs where 8 of every 16 ranks are
+//! co-located.
+
+use crate::metrics::{ClusterMetrics, NodeMetrics};
+use crate::trace::{packet_label, TraceKind, Tracer};
+use crate::proto::{DriverAction, NodeDriver, ProtoConfig};
+use crate::wire::{EndpointAddr, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
+use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
+use omx_host::{CoreId, Host, HostConfig};
+use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta};
+use omx_sim::rng::SimRng;
+use omx_sim::{Engine, Model, Scheduler, StopCondition, Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Complete, serialisable experiment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Endpoints (application attach points) per node; endpoint `i` is
+    /// pinned to core `i % cores`.
+    pub endpoints_per_node: usize,
+    /// Host model (cores, sleep, routing, costs).
+    pub host: HostConfig,
+    /// NIC model (ring, DMA, coalescing strategy).
+    pub nic: NicConfig,
+    /// Fabric model (links, switch, disturbance).
+    pub fabric: FabricConfig,
+    /// Protocol tunables (MTU, acks, window, marking).
+    pub proto: ProtoConfig,
+    /// Intra-node shared-memory path: one-way base latency.
+    pub shm_latency_ns: u64,
+    /// Intra-node shared-memory copy bandwidth, bytes per microsecond.
+    pub shm_bytes_per_us: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let fabric = FabricConfig::default();
+        let proto = ProtoConfig {
+            mtu: fabric.mtu,
+            ..ProtoConfig::default()
+        };
+        ClusterConfig {
+            nodes: 2,
+            endpoints_per_node: 1,
+            host: HostConfig::default(),
+            nic: NicConfig::default(),
+            fabric,
+            proto,
+            shm_latency_ns: 900,
+            shm_bytes_per_us: 2_500,
+            seed: 0xC0A1E5CE,
+        }
+    }
+}
+
+/// Fluent builder for the common experiment shapes.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Start from the calibrated defaults (two 8-core nodes, Myri-10G-like
+    /// NIC with the 75 µs timeout, MTU-1500 fabric).
+    pub fn new() -> Self {
+        ClusterBuilder {
+            cfg: ClusterConfig::default(),
+        }
+    }
+
+    /// Set the number of nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    /// Set endpoints per node.
+    pub fn endpoints_per_node(mut self, n: usize) -> Self {
+        self.cfg.endpoints_per_node = n;
+        self
+    }
+
+    /// Select the NIC coalescing strategy.
+    pub fn strategy(mut self, s: CoalescingStrategy) -> Self {
+        self.cfg.nic.strategy = s;
+        self
+    }
+
+    /// Select the interrupt routing policy.
+    pub fn routing(mut self, r: omx_host::IrqRouting) -> Self {
+        self.cfg.host.routing = r;
+        self
+    }
+
+    /// Allow or forbid core sleep states.
+    pub fn sleep(mut self, enabled: bool) -> Self {
+        self.cfg.host.sleep_enabled = enabled;
+        self
+    }
+
+    /// Set the marking policy (ablations, mis-ordering).
+    pub fn marking(mut self, m: crate::marking::MarkingPolicy) -> Self {
+        self.cfg.proto.marking = m;
+        self
+    }
+
+    /// Set fabric disturbance (jitter / loss / delay injection).
+    pub fn disturbance(mut self, d: omx_fabric::DisturbanceConfig) -> Self {
+        self.cfg.fabric.disturbance = d;
+        self
+    }
+
+    /// Set the fabric MTU (fragmentation follows; §IV-A notes jumbo frames
+    /// exhibit the same behaviour at proportionally larger sizes).
+    pub fn mtu(mut self, mtu: u32) -> Self {
+        self.cfg.fabric.mtu = mtu;
+        self.cfg.proto.mtu = mtu;
+        self
+    }
+
+    /// Set the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Override the whole config (escape hatch).
+    pub fn config(mut self, cfg: ClusterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Access the config being built.
+    pub fn config_mut(&mut self) -> &mut ClusterConfig {
+        &mut self.cfg
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Cluster {
+        Cluster::new(self.cfg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Actor interface
+// ---------------------------------------------------------------------------
+
+/// A completed receive, as seen by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvCompletion {
+    /// Handle from the posted receive.
+    pub handle: u64,
+    /// Sender endpoint.
+    pub src: EndpointAddr,
+    /// Match info of the message.
+    pub match_info: u64,
+    /// Message length in bytes.
+    pub len: u32,
+}
+
+/// Application logic bound to one endpoint (one MPI rank, one benchmark
+/// process). Callbacks run in simulated time; all interaction goes through
+/// [`ActorCtx`].
+pub trait Actor: Any {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut ActorCtx);
+    /// A send posted with `handle` completed.
+    fn on_send_complete(&mut self, ctx: &mut ActorCtx, handle: u64) {
+        let _ = (ctx, handle);
+    }
+    /// A receive completed.
+    fn on_recv_complete(&mut self, ctx: &mut ActorCtx, completion: RecvCompletion) {
+        let _ = (ctx, completion);
+    }
+    /// A timer set via [`ActorCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut ActorCtx, token: u64) {
+        let _ = (ctx, token);
+    }
+    /// Whether this rank blocks in `mx_wait` between events (pays the
+    /// scheduler wakeup latency per delivery burst) instead of polling.
+    /// MPI microbenchmarks poll; background daemons and blocking apps don't.
+    fn blocking_waits(&self) -> bool {
+        false
+    }
+    /// Upcast for report extraction after the run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Commands an actor may issue during a callback.
+enum ActorCmd {
+    Send {
+        dst: EndpointAddr,
+        len: u32,
+        match_info: u64,
+        handle: u64,
+    },
+    Recv {
+        match_value: u64,
+        match_mask: u64,
+        handle: u64,
+    },
+    Timer {
+        at: Time,
+        token: u64,
+    },
+    RawEthernet {
+        dst: NodeId,
+        payload_len: u32,
+    },
+    Stop,
+}
+
+/// The interface handed to actor callbacks.
+pub struct ActorCtx<'a> {
+    now: Time,
+    node: u16,
+    ep: u8,
+    /// Core this endpoint is pinned to.
+    core: usize,
+    /// Cumulative interrupt busy time on that core (stolen-time source for
+    /// compute phases).
+    core_irq_busy_ns: u64,
+    cmds: &'a mut Vec<ActorCmd>,
+}
+
+impl ActorCtx<'_> {
+    /// Current simulated time (start of this callback).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This actor's endpoint address.
+    pub fn me(&self) -> EndpointAddr {
+        EndpointAddr::new(self.node, self.ep)
+    }
+
+    /// The core this rank is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Cumulative interrupt busy time on this rank's core, in nanoseconds.
+    /// Compute phases diff this across their window to account for CPU time
+    /// stolen by interrupt handlers (the effect behind Table IV's IS
+    /// slowdowns).
+    pub fn core_irq_busy_ns(&self) -> u64 {
+        self.core_irq_busy_ns
+    }
+
+    /// Post a message send. CPU cost is charged on this rank's core; the
+    /// completion arrives via [`Actor::on_send_complete`].
+    pub fn post_send(&mut self, dst: EndpointAddr, len: u32, match_info: u64, handle: u64) {
+        self.cmds.push(ActorCmd::Send {
+            dst,
+            len,
+            match_info,
+            handle,
+        });
+    }
+
+    /// Post a receive with MX match semantics.
+    pub fn post_recv(&mut self, match_value: u64, match_mask: u64, handle: u64) {
+        self.cmds.push(ActorCmd::Recv {
+            match_value,
+            match_mask,
+            handle,
+        });
+    }
+
+    /// Request a timer callback at absolute time `at`.
+    pub fn set_timer(&mut self, at: Time, token: u64) {
+        self.cmds.push(ActorCmd::Timer { at, token });
+    }
+
+    /// Inject one raw (non-Open-MX) Ethernet frame toward `dst` — used by
+    /// the interrupt-overhead microbenchmark and TCP background traffic.
+    pub fn send_raw_ethernet(&mut self, dst: NodeId, payload_len: u32) {
+        self.cmds.push(ActorCmd::RawEthernet { dst, payload_len });
+    }
+
+    /// Stop the whole simulation after this callback.
+    pub fn stop(&mut self) {
+        self.cmds.push(ActorCmd::Stop);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Ev {
+    /// A frame arrived at a node's NIC from the wire.
+    FrameArrival { node: u16, pkt: WireFrame },
+    /// A NIC DMA transfer completed.
+    DmaComplete { node: u16, desc: DescId },
+    /// The NIC coalescing timer fired.
+    CoalesceTimer { node: u16, epoch: u64 },
+    /// An interrupt handler starts executing on `core`.
+    IrqService { node: u16, core: CoreId },
+    /// The receive batch finished processing; run the driver on it.
+    BatchDone {
+        node: u16,
+        core: CoreId,
+        batch: Vec<Packet>,
+    },
+    /// The driver's retransmit / delayed-ack timer.
+    DriverTimer { node: u16 },
+    /// Deliver a completion to an actor (event-ring poll).
+    AppRecv {
+        node: u16,
+        ep: u8,
+        c: RecvCompletion,
+    },
+    /// Deliver a send completion to an actor.
+    AppSend { node: u16, ep: u8, handle: u64 },
+    /// An actor timer fired.
+    AppTimer { node: u16, ep: u8, token: u64 },
+    /// Kick an actor's `on_start`.
+    AppStart { node: u16, ep: u8 },
+    /// Intra-node shared-memory delivery.
+    ShmDeliver { node: u16, pkt: Packet },
+}
+
+/// What travels on the fabric: an Open-MX packet or a raw frame.
+#[derive(Debug, Clone, Copy)]
+enum WireFrame {
+    Omx(Packet),
+    Raw { payload_len: u32 },
+}
+
+impl WireFrame {
+    fn wire_len(&self) -> u32 {
+        match self {
+            WireFrame::Omx(p) => p.wire_len(),
+            WireFrame::Raw { payload_len } => ETH_HEADER_BYTES + payload_len,
+        }
+    }
+
+    fn meta(&self) -> PacketMeta {
+        match self {
+            WireFrame::Omx(p) => PacketMeta::omx(self.wire_len(), p.hdr.latency_sensitive)
+                // Multiqueue steering attaches each communication channel to
+                // a core (§VI): hash on the destination endpoint.
+                .with_flow(u64::from(p.hdr.dst.endpoint)),
+            WireFrame::Raw { .. } => PacketMeta::ip(self.wire_len()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node runtime
+// ---------------------------------------------------------------------------
+
+struct NodeRt {
+    driver: NodeDriver,
+    nic: Nic,
+    host: Host,
+    /// Frames whose DMA is in flight or that sit ready in host memory.
+    in_dma: HashMap<DescId, WireFrame>,
+    /// Armed driver-timer deadline (dedup of DriverTimer events).
+    driver_timer: Option<Time>,
+}
+
+// ---------------------------------------------------------------------------
+// The system model
+// ---------------------------------------------------------------------------
+
+struct SystemModel {
+    cfg: ClusterConfig,
+    nodes: Vec<NodeRt>,
+    fabric: EthernetFabric,
+    actors: HashMap<(u16, u8), Box<dyn Actor>>,
+    /// Per-endpoint application CPU cursor: an actor's callbacks and the
+    /// work they issue are serialised on its core.
+    app_busy: HashMap<(u16, u8), Time>,
+    stop: bool,
+    /// Scratch buffer for actor commands (reused across callbacks).
+    cmd_buf: Vec<ActorCmd>,
+    /// Optional packet-level event trace.
+    tracer: Option<Tracer>,
+}
+
+impl SystemModel {
+    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, detail: impl FnOnce() -> String) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(at, node, kind, detail());
+        }
+    }
+
+    fn tx_cost_ns(&self, pkt: &Packet) -> u64 {
+        let costs = &self.cfg.host.costs;
+        costs.send_frag_ns + costs.tx_copy_ns(pkt.payload_len())
+    }
+
+    /// Charge receive-path processing for one batch; returns duration.
+    fn batch_duration(&mut self, node: u16, core: CoreId, batch: &[WireFrame]) -> u64 {
+        let costs = *self.nodes[node as usize].host.costs();
+        // Waking processes blocked in `mx_wait` is handler work
+        // (try_to_wake_up + rescheduling IPI, plus the C1E exit of the
+        // target core when sleep states are allowed): one wake per blocking
+        // endpoint this batch delivers to (§IV-B1's "several microseconds").
+        let mut woken: Vec<(u16, u8)> = Vec::new();
+        let mut wake_ns = 0u64;
+        for frame in batch {
+            if let WireFrame::Omx(pkt) = frame {
+                if !delivers_app_event(pkt) {
+                    continue; // intermediate fragments wake nobody
+                }
+                let key = (pkt.hdr.dst.node.0, pkt.hdr.dst.endpoint);
+                if !woken.contains(&key)
+                    && self
+                        .actors
+                        .get(&key)
+                        .is_some_and(|a| a.blocking_waits())
+                {
+                    woken.push(key);
+                    wake_ns += if self.cfg.host.sleep_enabled {
+                        costs.proc_wakeup_ns
+                    } else {
+                        costs.proc_wakeup_nosleep_ns
+                    };
+                }
+            }
+        }
+        let host = &mut self.nodes[node as usize].host;
+        let mut dur = costs.irq_dispatch_ns + wake_ns;
+        // Preempting a running application costs the context switch and the
+        // application's cache/TLB pollution on top of the bare dispatch.
+        if host.app_active(core) {
+            dur += costs.irq_preempt_ns;
+        }
+        // Low-level driver structures: one line group per node.
+        let lowlevel_bounced = host.cache_access(node as u64, core);
+        for frame in batch {
+            dur += costs.lowlevel_rx_ns;
+            if lowlevel_bounced {
+                dur += costs.lowlevel_bounce_ns;
+            }
+            if let WireFrame::Omx(pkt) = frame {
+                // Open-MX handler: demux + per-connection descriptor touch.
+                dur += costs.omx_handler_ns;
+                dur += costs.rx_copy_ns(pkt.payload_len());
+                dur += costs.event_ring_ns;
+                let group = channel_group(pkt);
+                if host.cache_access(group, core) {
+                    dur += costs.omx_channel_bounce_ns;
+                }
+            }
+        }
+        dur
+    }
+
+    fn transmit_omx(&mut self, now: Time, pkt: Packet, sched: &mut Scheduler<Ev>) {
+        let src = pkt.hdr.src.node.0;
+        let dst = pkt.hdr.dst.node.0;
+        if src == dst {
+            // Shared-memory path: no NIC, no interrupt.
+            let bytes = pkt.payload_len() as u64;
+            let delay =
+                self.cfg.shm_latency_ns + (bytes * 1_000).div_ceil(self.cfg.shm_bytes_per_us);
+            sched.schedule_at(
+                now + TimeDelta::from_nanos(delay as i64),
+                Ev::ShmDeliver { node: dst, pkt },
+            );
+            return;
+        }
+        let doorbell = self.cfg.host.costs.tx_doorbell_ns;
+        let t = now + TimeDelta::from_nanos(doorbell as i64);
+        match self
+            .fabric
+            .transmit(t, PortId(src as usize), PortId(dst as usize), pkt.wire_len())
+        {
+            TransmitOutcome::Arrives(at) => {
+                sched.schedule_at(
+                    at,
+                    Ev::FrameArrival {
+                        node: dst,
+                        pkt: WireFrame::Omx(pkt),
+                    },
+                );
+            }
+            TransmitOutcome::Lost => {
+                // The retransmission machinery recovers; nothing to schedule.
+            }
+        }
+    }
+
+    fn transmit_raw(
+        &mut self,
+        now: Time,
+        src: u16,
+        dst: NodeId,
+        payload_len: u32,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let frame = WireFrame::Raw { payload_len };
+        match self.fabric.transmit(
+            now,
+            PortId(src as usize),
+            PortId(dst.0 as usize),
+            frame.wire_len(),
+        ) {
+            TransmitOutcome::Arrives(at) => {
+                sched.schedule_at(
+                    at,
+                    Ev::FrameArrival {
+                        node: dst.0,
+                        pkt: frame,
+                    },
+                );
+            }
+            TransmitOutcome::Lost => {}
+        }
+    }
+
+    fn apply_nic_outcome(
+        &mut self,
+        node: u16,
+        now: Time,
+        out: NicOutcome,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if let Some((desc, at)) = out.dma {
+            sched.schedule_at(at, Ev::DmaComplete { node, desc });
+        }
+        if let Some((at, epoch)) = out.arm_timer {
+            sched.schedule_at(at.max(now), Ev::CoalesceTimer { node, epoch });
+        }
+        if out.interrupt {
+            let flow = self.nodes[node as usize].nic.claimed_flow();
+            let svc = self.nodes[node as usize].host.deliver_irq(now, flow);
+            self.trace(now, node, TraceKind::Interrupt, || {
+                format!(
+                    "core {}{}",
+                    svc.core,
+                    if svc.was_sleeping { " (woken)" } else { "" }
+                )
+            });
+            sched.schedule_at(
+                svc.start,
+                Ev::IrqService {
+                    node,
+                    core: svc.core,
+                },
+            );
+        }
+    }
+
+    /// Run driver actions; `now` is when they become effective. `irq_core`
+    /// is the core running the driver (None = application context).
+    fn run_driver_actions(
+        &mut self,
+        node: u16,
+        now: Time,
+        actions: Vec<DriverAction>,
+        irq_core: Option<CoreId>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let mut cursor = now;
+        for action in actions {
+            match action {
+                DriverAction::Transmit(pkt) => {
+                    let cost = self.tx_cost_ns(&pkt);
+                    if let Some(core) = irq_core {
+                        cursor = self.nodes[node as usize].host.occupy_irq(core, cursor, cost);
+                    } else {
+                        cursor += TimeDelta::from_nanos(cost as i64);
+                    }
+                    self.transmit_omx(cursor, pkt, sched);
+                }
+                DriverAction::RecvComplete {
+                    ep,
+                    handle,
+                    src,
+                    match_info,
+                    len,
+                } => {
+                    let visible =
+                        cursor + TimeDelta::from_nanos(self.cfg.host.costs.app_event_ns as i64);
+                    sched.schedule_at(
+                        visible,
+                        Ev::AppRecv {
+                            node,
+                            ep,
+                            c: RecvCompletion {
+                                handle,
+                                src,
+                                match_info,
+                                len,
+                            },
+                        },
+                    );
+                }
+                DriverAction::SendComplete { ep, handle } => {
+                    let visible =
+                        cursor + TimeDelta::from_nanos(self.cfg.host.costs.app_event_ns as i64);
+                    sched.schedule_at(visible, Ev::AppSend { node, ep, handle });
+                }
+                DriverAction::ArmTimer { at } => {
+                    let rt = &mut self.nodes[node as usize];
+                    let need = match rt.driver_timer {
+                        Some(armed) => at < armed,
+                        None => true,
+                    };
+                    if need {
+                        rt.driver_timer = Some(at);
+                        sched.schedule_at(at.max(now), Ev::DriverTimer { node });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one actor callback and execute the commands it issued.
+    fn with_actor(
+        &mut self,
+        node: u16,
+        ep: u8,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+        f: impl FnOnce(&mut dyn Actor, &mut ActorCtx),
+    ) {
+        let Some(mut actor) = self.actors.remove(&(node, ep)) else {
+            return;
+        };
+        let blocking = actor.blocking_waits();
+        let core = ep as usize % self.cfg.host.cores;
+        let core_irq_busy_ns = self.nodes[node as usize].host.irq_busy_total_ns(core);
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        cmds.clear();
+        {
+            let mut ctx = ActorCtx {
+                now,
+                node,
+                ep,
+                core,
+                core_irq_busy_ns,
+                cmds: &mut cmds,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.actors.insert((node, ep), actor);
+
+        // Execute commands sequentially, charging application CPU cost.
+        // The cursor starts after any still-running work of this endpoint so
+        // one rank cannot overlap its own CPU. A rank that went idle is
+        // blocked in `mx_wait`; waking it costs scheduler latency, which is
+        // paid once per delivery burst — the very effect that makes
+        // per-packet interrupts expensive (§IV-B1).
+        let costs = self.cfg.host.costs;
+        let busy = *self.app_busy.entry((node, ep)).or_insert(Time::ZERO);
+        let _ = blocking; // the wakeup cost is charged in the IRQ handler
+        let mut cursor = now.max(busy);
+        for cmd in cmds.drain(..) {
+            match cmd {
+                ActorCmd::Send {
+                    dst,
+                    len,
+                    match_info,
+                    handle,
+                } => {
+                    let eager_len = len.min(crate::wire::MEDIUM_MAX);
+                    let frags = crate::wire::frag_count(eager_len, self.cfg.proto.mtu) as u64;
+                    let cpu = costs.send_post_ns
+                        + costs.send_frag_ns * frags.min(4)
+                        + costs.tx_copy_ns(eager_len);
+                    cursor += TimeDelta::from_nanos(cpu as i64);
+                    let actions = self.nodes[node as usize].driver.post_send(
+                        cursor, ep, dst, len, match_info, handle,
+                    );
+                    self.run_driver_actions(node, cursor, actions, None, sched);
+                }
+                ActorCmd::Recv {
+                    match_value,
+                    match_mask,
+                    handle,
+                } => {
+                    cursor += TimeDelta::from_nanos(150);
+                    let actions = self.nodes[node as usize].driver.post_recv(
+                        cursor,
+                        ep,
+                        match_value,
+                        match_mask,
+                        handle,
+                    );
+                    self.run_driver_actions(node, cursor, actions, None, sched);
+                }
+                ActorCmd::Timer { at, token } => {
+                    sched.schedule_at(at.max(cursor), Ev::AppTimer { node, ep, token });
+                }
+                ActorCmd::RawEthernet { dst, payload_len } => {
+                    cursor += TimeDelta::from_nanos(costs.send_post_ns as i64);
+                    self.transmit_raw(cursor, node, dst, payload_len, sched);
+                }
+                ActorCmd::Stop => {
+                    self.stop = true;
+                }
+            }
+        }
+        self.app_busy.insert((node, ep), cursor);
+        self.cmd_buf = cmds;
+    }
+}
+
+/// Whether this packet can complete an application-visible event (only
+/// those wake a process blocked in `mx_wait`).
+fn delivers_app_event(pkt: &Packet) -> bool {
+    use crate::wire::PacketKind;
+    match pkt.kind {
+        PacketKind::Small { .. } | PacketKind::Notify { .. } => true,
+        PacketKind::MediumFrag {
+            frag, frag_count, ..
+        } => frag + 1 == frag_count,
+        PacketKind::PullReply { last_of_block, .. } => last_of_block,
+        PacketKind::Rendezvous { .. }
+        | PacketKind::PullRequest { .. }
+        | PacketKind::Ack { .. }
+        | PacketKind::TcpSegment { .. } => false,
+    }
+}
+
+/// Cache line group of the per-connection Open-MX descriptors a packet
+/// touches in the receive handler.
+fn channel_group(pkt: &Packet) -> u64 {
+    // Mix source endpoint and destination endpoint; offset to avoid the
+    // per-node low-level groups (small integers).
+    let s = &pkt.hdr.src;
+    let d = &pkt.hdr.dst;
+    0x1000_0000
+        + ((s.node.0 as u64) << 32)
+        + ((s.endpoint as u64) << 24)
+        + ((d.node.0 as u64) << 8)
+        + d.endpoint as u64
+}
+
+impl Model for SystemModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::FrameArrival { node, pkt } => {
+                let meta = pkt.meta();
+                let out = self.nodes[node as usize].nic.on_frame(now, meta);
+                self.trace(now, node, TraceKind::FrameArrival, || match &pkt {
+                    WireFrame::Omx(p) => packet_label(p),
+                    WireFrame::Raw { payload_len } => format!("raw len={payload_len}"),
+                });
+                if out.dropped {
+                    self.trace(now, node, TraceKind::Drop, || "ring full".to_string());
+                } else if let Some((desc, _)) = out.dma {
+                    self.nodes[node as usize].in_dma.insert(desc, pkt);
+                }
+                self.apply_nic_outcome(node, now, out, sched);
+            }
+            Ev::DmaComplete { node, desc } => {
+                let out = self.nodes[node as usize].nic.on_dma_complete(now, desc);
+                self.trace(now, node, TraceKind::DmaComplete, || format!("{desc:?}"));
+                self.apply_nic_outcome(node, now, out, sched);
+            }
+            Ev::CoalesceTimer { node, epoch } => {
+                let out = self.nodes[node as usize].nic.on_timer(now, epoch);
+                if out != NicOutcome::default() {
+                    self.trace(now, node, TraceKind::CoalesceTimer, || {
+                        format!("epoch {epoch}")
+                    });
+                }
+                self.apply_nic_outcome(node, now, out, sched);
+            }
+            Ev::IrqService { node, core } => {
+                // The handler reads the ring when it runs: claim everything
+                // ready right now.
+                let ready = self.nodes[node as usize].nic.drain_ready();
+                let frames: Vec<WireFrame> = ready
+                    .iter()
+                    .map(|r| {
+                        self.nodes[node as usize]
+                            .in_dma
+                            .remove(&r.desc)
+                            .expect("ready packet has a stored frame")
+                    })
+                    .collect();
+                let dur = self.batch_duration(node, core, &frames);
+                let end = self.nodes[node as usize].host.occupy_irq(core, now, dur);
+                let batch: Vec<Packet> = frames
+                    .into_iter()
+                    .filter_map(|f| match f {
+                        WireFrame::Omx(p) => Some(p),
+                        WireFrame::Raw { .. } => None, // dropped by the stack
+                    })
+                    .collect();
+                sched.schedule_at(end, Ev::BatchDone { node, core, batch });
+            }
+            Ev::BatchDone { node, core, batch } => {
+                self.trace(now, node, TraceKind::BatchDone, || {
+                    format!("core {core}, {} packets", batch.len())
+                });
+                // Handler done: re-enable interrupts first (NAPI exit), then
+                // hand the packets to the driver's protocol logic.
+                let out = self.nodes[node as usize].nic.enable_irq(now);
+                self.apply_nic_outcome(node, now, out, sched);
+                for pkt in batch {
+                    let actions = self.nodes[node as usize].driver.handle_packet(now, pkt);
+                    self.run_driver_actions(node, now, actions, Some(core), sched);
+                }
+            }
+            Ev::DriverTimer { node } => {
+                let rt = &mut self.nodes[node as usize];
+                rt.driver_timer = None;
+                let due = rt.driver.next_deadline().is_some_and(|d| d <= now);
+                if due {
+                    let actions = rt.driver.on_timer(now);
+                    self.run_driver_actions(node, now, actions, None, sched);
+                } else if let Some(d) = rt.driver.next_deadline() {
+                    rt.driver_timer = Some(d);
+                    sched.schedule_at(d, Ev::DriverTimer { node });
+                }
+            }
+            Ev::ShmDeliver { node, pkt } => {
+                let actions = self.nodes[node as usize].driver.handle_packet(now, pkt);
+                self.run_driver_actions(node, now, actions, None, sched);
+            }
+            Ev::AppStart { node, ep } => {
+                self.with_actor(node, ep, now, sched, |a, ctx| a.on_start(ctx));
+            }
+            Ev::AppRecv { node, ep, c } => {
+                self.trace(now, node, TraceKind::AppDelivery, || {
+                    format!("ep {ep} recv len={}", c.len)
+                });
+                self.with_actor(node, ep, now, sched, |a, ctx| a.on_recv_complete(ctx, c));
+            }
+            Ev::AppSend { node, ep, handle } => {
+                self.with_actor(node, ep, now, sched, |a, ctx| a.on_send_complete(ctx, handle));
+            }
+            Ev::AppTimer { node, ep, token } => {
+                self.with_actor(node, ep, now, sched, |a, ctx| a.on_timer(ctx, token));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public cluster handle
+// ---------------------------------------------------------------------------
+
+/// A runnable simulated cluster.
+pub struct Cluster {
+    engine: Engine<SystemModel>,
+    started: bool,
+}
+
+impl Cluster {
+    /// Build from a full config (see also [`ClusterBuilder`]).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes >= 1, "cluster needs at least one node");
+        let mut rng = SimRng::new(cfg.seed);
+        let fabric = EthernetFabric::new(
+            cfg.nodes,
+            FabricConfig {
+                // The fabric carries full frames: MTU + Ethernet + Open-MX
+                // headers.
+                mtu: cfg.fabric.mtu + ETH_HEADER_BYTES + OMX_HEADER_BYTES,
+                ..cfg.fabric.clone()
+            },
+            rng.fork(1),
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeRt {
+                driver: NodeDriver::new(i as u16, cfg.endpoints_per_node, cfg.proto),
+                nic: Nic::new(cfg.nic.clone()),
+                host: Host::new(cfg.host),
+                in_dma: HashMap::new(),
+                driver_timer: None,
+            })
+            .collect();
+        let model = SystemModel {
+            cfg,
+            nodes,
+            fabric,
+            actors: HashMap::new(),
+            app_busy: HashMap::new(),
+            stop: false,
+            cmd_buf: Vec::new(),
+            tracer: None,
+        };
+        Cluster {
+            engine: Engine::new(model),
+            started: false,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.engine.model().cfg
+    }
+
+    /// Enable packet-level event tracing, keeping the last `capacity`
+    /// events. See [`crate::trace`].
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.engine.model_mut().tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.engine.model().tracer.as_ref()
+    }
+
+    /// Replace one node's NIC coalescing strategy with a custom
+    /// [`omx_nic::Coalescer`] implementation (downstream strategies that are
+    /// not expressible as a [`CoalescingStrategy`]).
+    pub fn set_node_strategy(&mut self, node: u16, strategy: Box<dyn omx_nic::Coalescer>) {
+        assert!(!self.started, "strategies must be set before the first run");
+        self.engine.model_mut().nodes[node as usize]
+            .nic
+            .set_strategy(strategy);
+    }
+
+    /// Attach an actor to `(node, endpoint)`. The endpoint is pinned to core
+    /// `endpoint % cores` and marked application-active (it polls).
+    pub fn add_actor(&mut self, node: u16, ep: u8, actor: Box<dyn Actor>) {
+        assert!(!self.started, "actors must be added before the first run");
+        let model = self.engine.model_mut();
+        assert!((node as usize) < model.cfg.nodes, "node {node} out of range");
+        assert!(
+            (ep as usize) < model.cfg.endpoints_per_node,
+            "endpoint {ep} out of range"
+        );
+        // Polling ranks keep their core busy (interrupts preempt them);
+        // ranks that block in `mx_wait` leave it idle.
+        let core = ep as usize % model.cfg.host.cores;
+        let polls = !actor.blocking_waits();
+        model.nodes[node as usize]
+            .host
+            .set_app_active(core, polls, Time::ZERO);
+        let prev = model.actors.insert((node, ep), actor);
+        assert!(prev.is_none(), "endpoint ({node}, {ep}) already has an actor");
+    }
+
+    /// Run until quiescence, the horizon, or an actor-requested stop.
+    pub fn run(&mut self, horizon: Time) -> StopCondition {
+        if !self.started {
+            self.started = true;
+            let mut keys: Vec<(u16, u8)> = self.engine.model().actors.keys().copied().collect();
+            keys.sort_unstable();
+            for (node, ep) in keys {
+                self.engine.prime(Time::ZERO, Ev::AppStart { node, ep });
+            }
+        }
+        self.engine
+            .run_until(horizon, u64::MAX, |m: &SystemModel| m.stop)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// Events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Borrow an actor back (downcast to its concrete type).
+    pub fn actor<T: Actor>(&self, node: u16, ep: u8) -> Option<&T> {
+        self.engine
+            .model()
+            .actors
+            .get(&(node, ep))
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Harvest metrics from every layer.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let m = self.engine.model();
+        ClusterMetrics {
+            sim_time_ns: self.engine.now().as_nanos(),
+            frames_carried: m.fabric.frames_carried(),
+            frames_dropped: m.fabric.frames_dropped(),
+            nodes: m
+                .nodes
+                .iter()
+                .map(|n| NodeMetrics {
+                    nic: n.nic.counters().clone(),
+                    host: n.host.counters().clone(),
+                    driver: n.driver.counters().clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total interrupts raised across all nodes (the paper's headline
+    /// host-load metric).
+    pub fn total_interrupts(&self) -> u64 {
+        self.engine
+            .model()
+            .nodes
+            .iter()
+            .map(|n| n.nic.counters().interrupts.get())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::SMALL_MAX;
+
+    /// Send one message A→B and record the completion time on both sides.
+    struct OneShotSender {
+        dst: EndpointAddr,
+        len: u32,
+        send_done_at: Option<Time>,
+    }
+
+    impl Actor for OneShotSender {
+        fn on_start(&mut self, ctx: &mut ActorCtx) {
+            ctx.post_send(self.dst, self.len, 42, 1);
+        }
+        fn on_send_complete(&mut self, ctx: &mut ActorCtx, _handle: u64) {
+            self.send_done_at = Some(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct OneShotReceiver {
+        recv_done_at: Option<Time>,
+        len_seen: u32,
+    }
+
+    impl Actor for OneShotReceiver {
+        fn on_start(&mut self, ctx: &mut ActorCtx) {
+            ctx.post_recv(42, !0, 7);
+        }
+        fn on_recv_complete(&mut self, ctx: &mut ActorCtx, c: RecvCompletion) {
+            self.recv_done_at = Some(ctx.now());
+            self.len_seen = c.len;
+            ctx.stop();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn one_shot(len: u32, strategy: CoalescingStrategy) -> (Time, Cluster) {
+        let mut cluster = ClusterBuilder::new().nodes(2).strategy(strategy).build();
+        cluster.add_actor(
+            0,
+            0,
+            Box::new(OneShotSender {
+                dst: EndpointAddr::new(1, 0),
+                len,
+                send_done_at: None,
+            }),
+        );
+        cluster.add_actor(
+            1,
+            0,
+            Box::new(OneShotReceiver {
+                recv_done_at: None,
+                len_seen: 0,
+            }),
+        );
+        let stop = cluster.run(Time::from_secs(5));
+        assert_eq!(
+            stop,
+            StopCondition::PredicateSatisfied,
+            "receiver stops the sim"
+        );
+        let recv = cluster
+            .actor::<OneShotReceiver>(1, 0)
+            .expect("receiver present");
+        assert_eq!(recv.len_seen, len);
+        (recv.recv_done_at.expect("completed"), cluster)
+    }
+
+    #[test]
+    fn small_message_delivers_across_nodes() {
+        let (at, cluster) = one_shot(64, CoalescingStrategy::Disabled);
+        // One-way small-message latency: a handful of microseconds.
+        let us = at.as_micros_f64();
+        assert!(us > 2.0 && us < 30.0, "one-way latency {us}us out of range");
+        assert!(cluster.total_interrupts() >= 1);
+    }
+
+    #[test]
+    fn small_message_latency_suffers_under_timeout_coalescing() {
+        let (fast, _) = one_shot(64, CoalescingStrategy::Disabled);
+        let (slow, _) = one_shot(64, CoalescingStrategy::Timeout { delay_us: 75 });
+        let delta = slow - fast;
+        // §IV-B3: latency inflates by roughly the coalescing delay.
+        assert!(delta.as_micros_f64() > 50.0, "coalescing only added {delta}");
+    }
+
+    #[test]
+    fn openmx_strategy_restores_small_latency() {
+        let (disabled, _) = one_shot(64, CoalescingStrategy::Disabled);
+        let (openmx, _) = one_shot(64, CoalescingStrategy::OpenMx { delay_us: 75 });
+        let ratio = openmx.as_nanos() as f64 / disabled.as_nanos() as f64;
+        assert!(
+            ratio < 1.2,
+            "Open-MX coalescing should track disabled latency, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn medium_message_delivers() {
+        let (_, cluster) = one_shot(32 * 1024, CoalescingStrategy::OpenMx { delay_us: 75 });
+        let m = cluster.metrics();
+        // 23 fragments crossed the fabric (plus possible acks).
+        assert!(m.frames_carried >= 23);
+    }
+
+    #[test]
+    fn large_message_delivers_via_pull() {
+        let (_, cluster) = one_shot(234 * 1024, CoalescingStrategy::OpenMx { delay_us: 75 });
+        let m = cluster.metrics();
+        // 162 protocol packets (§IV-C3) plus acks.
+        assert!(m.frames_carried >= 162, "carried {}", m.frames_carried);
+    }
+
+    #[test]
+    fn intra_node_messages_skip_the_nic() {
+        let mut cluster = ClusterBuilder::new().nodes(1).endpoints_per_node(2).build();
+        cluster.add_actor(
+            0,
+            0,
+            Box::new(OneShotSender {
+                dst: EndpointAddr::new(0, 1),
+                len: 4096,
+                send_done_at: None,
+            }),
+        );
+        cluster.add_actor(
+            0,
+            1,
+            Box::new(OneShotReceiver {
+                recv_done_at: None,
+                len_seen: 0,
+            }),
+        );
+        let stop = cluster.run(Time::from_secs(1));
+        assert_eq!(stop, StopCondition::PredicateSatisfied);
+        assert_eq!(cluster.total_interrupts(), 0, "shared memory path");
+        assert_eq!(cluster.metrics().frames_carried, 0);
+    }
+
+    #[test]
+    fn tracing_records_the_packet_lifecycle() {
+        let mut cluster = ClusterBuilder::new()
+            .nodes(2)
+            .strategy(CoalescingStrategy::OpenMx { delay_us: 75 })
+            .build();
+        cluster.enable_tracing(256);
+        cluster.add_actor(
+            0,
+            0,
+            Box::new(OneShotSender {
+                dst: EndpointAddr::new(1, 0),
+                len: 64,
+                send_done_at: None,
+            }),
+        );
+        cluster.add_actor(
+            1,
+            0,
+            Box::new(OneShotReceiver {
+                recv_done_at: None,
+                len_seen: 0,
+            }),
+        );
+        cluster.run(Time::from_secs(1));
+        let tracer = cluster.tracer().expect("tracing enabled");
+        let rendered = tracer.render();
+        assert!(rendered.contains("small*"), "marked small packet traced");
+        assert!(rendered.contains("DmaComplete"));
+        assert!(rendered.contains("Interrupt"));
+        assert!(rendered.contains("BatchDone"));
+        assert!(rendered.contains("AppDelivery"));
+        // Lifecycle ordering for the first packet.
+        let arrival = rendered.find("FrameArrival").unwrap();
+        let irq = rendered.find("Interrupt").unwrap();
+        let delivery = rendered.find("AppDelivery").unwrap();
+        assert!(arrival < irq && irq < delivery);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let (a, ca) = one_shot(SMALL_MAX, CoalescingStrategy::Stream { delay_us: 75 });
+        let (b, cb) = one_shot(SMALL_MAX, CoalescingStrategy::Stream { delay_us: 75 });
+        assert_eq!(a, b);
+        assert_eq!(ca.total_interrupts(), cb.total_interrupts());
+        assert_eq!(ca.events_processed(), cb.events_processed());
+    }
+
+    #[test]
+    fn stream_coalescing_batches_marked_burst() {
+        // Many small messages sent back-to-back: Stream should need fewer
+        // receiver-side interrupts than Open-MX.
+        struct BurstSender {
+            dst: EndpointAddr,
+            remaining: u32,
+        }
+        impl Actor for BurstSender {
+            fn on_start(&mut self, ctx: &mut ActorCtx) {
+                for i in 0..self.remaining {
+                    ctx.post_send(self.dst, 64, i as u64, i as u64);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct CountingReceiver {
+            expect: u32,
+            got: u32,
+        }
+        impl Actor for CountingReceiver {
+            fn on_start(&mut self, ctx: &mut ActorCtx) {
+                for i in 0..self.expect {
+                    ctx.post_recv(i as u64, !0, i as u64);
+                }
+            }
+            fn on_recv_complete(&mut self, ctx: &mut ActorCtx, _c: RecvCompletion) {
+                self.got += 1;
+                if self.got == self.expect {
+                    ctx.stop();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let count = 32;
+        let run = |strategy| {
+            let mut builder = ClusterBuilder::new().nodes(2).strategy(strategy);
+            // A fast sender whose posts hit the wire back-to-back — the
+            // overlapping-DMA situation Algorithm 2 targets.
+            builder.config_mut().host.costs.send_post_ns = 10;
+            builder.config_mut().host.costs.send_frag_ns = 10;
+            builder.config_mut().host.costs.tx_doorbell_ns = 10;
+            let mut cluster = builder.build();
+            cluster.add_actor(
+                0,
+                0,
+                Box::new(BurstSender {
+                    dst: EndpointAddr::new(1, 0),
+                    remaining: count,
+                }),
+            );
+            cluster.add_actor(
+                1,
+                0,
+                Box::new(CountingReceiver {
+                    expect: count,
+                    got: 0,
+                }),
+            );
+            let stop = cluster.run(Time::from_secs(5));
+            assert_eq!(stop, StopCondition::PredicateSatisfied);
+            // Receiver-side interrupts only.
+            cluster.metrics().nodes[1].nic.interrupts.get()
+        };
+        let openmx = run(CoalescingStrategy::OpenMx { delay_us: 75 });
+        let stream = run(CoalescingStrategy::Stream { delay_us: 75 });
+        assert!(
+            stream * 2 <= openmx,
+            "stream ({stream}) should halve interrupts vs open-mx ({openmx})"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Packet-level event tracing.
+//!
+//! When enabled on a [`crate::Cluster`], the orchestrator records one
+//! [`TraceEvent`] per interesting simulation step into a bounded ring
+//! buffer. Traces turn "why did this transfer take 20 ms?" from archaeology
+//! into reading: the exact interleaving of arrivals, DMA completions, timer
+//! firings, interrupt deliveries and driver hand-offs is visible, with the
+//! packet kind attached.
+//!
+//! Tracing is off by default and costs nothing when disabled (a branch on an
+//! `Option`).
+
+use crate::wire::{Packet, PacketKind};
+use omx_sim::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A frame arrived at a node's NIC from the wire.
+    FrameArrival,
+    /// A frame's DMA into host memory completed.
+    DmaComplete,
+    /// The NIC coalescing timer fired.
+    CoalesceTimer,
+    /// An interrupt was delivered to a core.
+    Interrupt,
+    /// The receive handler finished a batch of this many packets.
+    BatchDone,
+    /// The driver handed a completion to an application endpoint.
+    AppDelivery,
+    /// A frame was dropped (ring overflow or injected loss).
+    Drop,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time.
+    pub at_ns: u64,
+    /// Node the event happened on.
+    pub node: u16,
+    /// Event class.
+    pub kind: TraceKind,
+    /// Short description of the subject (packet kind, batch size, core, …).
+    pub detail: String,
+}
+
+/// Bounded trace buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// New tracer keeping at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, at: Time, node: u16, kind: TraceKind, detail: String) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at_ns: at.as_nanos(),
+            node,
+            kind,
+            detail,
+        });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render a human-readable timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>12} ns  node {}  {:<13} {}\n",
+                e.at_ns,
+                e.node,
+                format!("{:?}", e.kind),
+                e.detail
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} earlier events evicted)\n", self.dropped));
+        }
+        out
+    }
+}
+
+/// Compact label for a packet in trace details.
+pub fn packet_label(pkt: &Packet) -> String {
+    let mark = if pkt.hdr.latency_sensitive { "*" } else { "" };
+    match pkt.kind {
+        PacketKind::Small { msg, len, .. } => format!("small{mark} msg={} len={len}", msg.0),
+        PacketKind::MediumFrag {
+            msg, frag, frag_count, ..
+        } => format!("medium{mark} msg={} frag={frag}/{frag_count}", msg.0),
+        PacketKind::Rendezvous { msg, total_len, .. } => {
+            format!("rendezvous{mark} msg={} len={total_len}", msg.0)
+        }
+        PacketKind::PullRequest { msg, block, .. } => {
+            format!("pull-req{mark} msg={} block={block}", msg.0)
+        }
+        PacketKind::PullReply {
+            msg, block, frame, last_of_block, ..
+        } => format!(
+            "pull-reply{mark} msg={} block={block} frame={frame}{}",
+            msg.0,
+            if last_of_block { " (last)" } else { "" }
+        ),
+        PacketKind::Notify { msg } => format!("notify{mark} msg={}", msg.0),
+        PacketKind::Ack { cumulative_seq } => format!("ack seq={cumulative_seq}"),
+        PacketKind::TcpSegment { len } => format!("tcp len={len}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{EndpointAddr, MsgId, OmxHeader};
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_renders_in_order() {
+        let mut tr = Tracer::new(16);
+        tr.record(t(10), 0, TraceKind::FrameArrival, "a".into());
+        tr.record(t(20), 1, TraceKind::Interrupt, "b".into());
+        assert_eq!(tr.len(), 2);
+        let rendered = tr.render();
+        assert!(rendered.contains("FrameArrival"));
+        assert!(rendered.contains("Interrupt"));
+        assert!(rendered.find("FrameArrival") < rendered.find("Interrupt"));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Tracer::new(3);
+        for i in 0..5 {
+            tr.record(t(i), 0, TraceKind::DmaComplete, format!("{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.evicted(), 2);
+        let first = tr.events().next().unwrap();
+        assert_eq!(first.detail, "2");
+        assert!(tr.render().contains("2 earlier events evicted"));
+    }
+
+    #[test]
+    fn packet_labels_show_marks_and_structure() {
+        let hdr = OmxHeader {
+            src: EndpointAddr::new(0, 0),
+            dst: EndpointAddr::new(1, 0),
+            latency_sensitive: true,
+            seq: 0,
+            ack: 0,
+        };
+        let p = Packet {
+            hdr,
+            kind: PacketKind::PullReply {
+                msg: MsgId(7),
+                block: 2,
+                frame: 31,
+                frame_len: 1500,
+                last_of_block: true,
+            },
+        };
+        let label = packet_label(&p);
+        assert!(label.contains("pull-reply*"));
+        assert!(label.contains("block=2"));
+        assert!(label.contains("(last)"));
+
+        let q = Packet {
+            hdr: OmxHeader {
+                latency_sensitive: false,
+                ..hdr
+            },
+            kind: PacketKind::Small {
+                msg: MsgId(1),
+                match_info: 0,
+                len: 64,
+            },
+        };
+        assert!(packet_label(&q).starts_with("small msg=1"));
+    }
+
+    #[test]
+    fn empty_tracer() {
+        let tr = Tracer::new(8);
+        assert!(tr.is_empty());
+        assert_eq!(tr.render(), "");
+    }
+}

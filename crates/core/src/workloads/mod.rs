@@ -1,0 +1,19 @@
+//! Built-in microbenchmark workloads, mirroring the paper's §IV benchmarks.
+//!
+//! * [`pingpong`] — the classic latency/throughput ping-pong (Figs. 5 & 6,
+//!   Table II's transfer-time column),
+//! * [`stream`] — unidirectional message-rate streams (Fig. 4, Table I),
+//! * [`overhead`] — the per-packet interrupt-overhead microbenchmark
+//!   (§IV-B2: a stream of invalid packets dropped by the low-level stack),
+//! * [`transfer`] — repeated single-message transfers on an idle system
+//!   (Table II's 234 KiB anatomy, the §IV-C3 marker ablation, and
+//!   Table III's mis-ordering study).
+//!
+//! Each workload is an [`crate::system::Actor`] pair plus a convenience
+//! `Cluster::run_*` method that wires the actors, runs the simulation and
+//! extracts a typed report.
+
+pub mod overhead;
+pub mod pingpong;
+pub mod stream;
+pub mod transfer;

@@ -1,0 +1,220 @@
+//! Disturbance injection: delay, reordering and loss.
+//!
+//! The paper's Table III studies how the Stream coalescing firmware copes
+//! with mis-ordered packets on a loaded fabric. We reproduce that with an
+//! injector that can (a) add random or targeted extra latency to selected
+//! frames — which physically reorders them relative to their neighbours —
+//! and (b) drop frames with a configured probability to exercise the
+//! retransmission path.
+
+use omx_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fabric disturbance injector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DisturbanceConfig {
+    /// Probability that a frame receives extra delay.
+    pub delay_probability: f64,
+    /// Minimum extra delay (ns) when delayed.
+    pub delay_min_ns: u64,
+    /// Maximum extra delay (ns) when delayed.
+    pub delay_max_ns: u64,
+    /// Probability that a frame is silently dropped.
+    pub loss_probability: f64,
+    /// Uniform jitter applied to every frame (± ns). Zero disables.
+    pub jitter_ns: u64,
+}
+
+impl Default for DisturbanceConfig {
+    fn default() -> Self {
+        DisturbanceConfig {
+            delay_probability: 0.0,
+            delay_min_ns: 0,
+            delay_max_ns: 0,
+            loss_probability: 0.0,
+            jitter_ns: 0,
+        }
+    }
+}
+
+impl DisturbanceConfig {
+    /// A quiet fabric: no disturbance at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no knob is active (fast-path check).
+    pub fn is_quiet(&self) -> bool {
+        self.delay_probability == 0.0 && self.loss_probability == 0.0 && self.jitter_ns == 0
+    }
+}
+
+/// What the injector decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disturbance {
+    /// Deliver after the normal wire latency plus `extra_ns`.
+    Deliver {
+        /// Extra delay in nanoseconds (may be negative under jitter).
+        extra_ns: i64,
+    },
+    /// Drop the frame.
+    Drop,
+}
+
+/// Stateful injector owning its RNG sub-stream.
+pub struct Injector {
+    cfg: DisturbanceConfig,
+    rng: SimRng,
+    frames_seen: u64,
+    frames_dropped: u64,
+    frames_delayed: u64,
+}
+
+impl Injector {
+    /// Create an injector from config and a forked RNG stream.
+    pub fn new(cfg: DisturbanceConfig, rng: SimRng) -> Self {
+        Injector {
+            cfg,
+            rng,
+            frames_seen: 0,
+            frames_dropped: 0,
+            frames_delayed: 0,
+        }
+    }
+
+    /// Decide the fate of one frame.
+    pub fn decide(&mut self) -> Disturbance {
+        self.frames_seen += 1;
+        if self.cfg.is_quiet() {
+            return Disturbance::Deliver { extra_ns: 0 };
+        }
+        if self.cfg.loss_probability > 0.0 && self.rng.chance(self.cfg.loss_probability) {
+            self.frames_dropped += 1;
+            return Disturbance::Drop;
+        }
+        let mut extra = 0i64;
+        if self.cfg.delay_probability > 0.0 && self.rng.chance(self.cfg.delay_probability) {
+            self.frames_delayed += 1;
+            let lo = self.cfg.delay_min_ns;
+            let hi = self.cfg.delay_max_ns.max(lo + 1);
+            extra += self.rng.range_u64(lo, hi) as i64;
+        }
+        if self.cfg.jitter_ns > 0 {
+            extra += self.rng.jitter_ns(self.cfg.jitter_ns);
+        }
+        Disturbance::Deliver { extra_ns: extra }
+    }
+
+    /// Frames that passed through the injector.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Frames dropped so far.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// Frames given extra delay so far.
+    pub fn frames_delayed(&self) -> u64 {
+        self.frames_delayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn quiet_config_is_transparent() {
+        let mut inj = Injector::new(DisturbanceConfig::none(), rng());
+        for _ in 0..100 {
+            assert_eq!(inj.decide(), Disturbance::Deliver { extra_ns: 0 });
+        }
+        assert_eq!(inj.frames_seen(), 100);
+        assert_eq!(inj.frames_dropped(), 0);
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let cfg = DisturbanceConfig {
+            loss_probability: 1.0,
+            ..DisturbanceConfig::none()
+        };
+        let mut inj = Injector::new(cfg, rng());
+        for _ in 0..50 {
+            assert_eq!(inj.decide(), Disturbance::Drop);
+        }
+        assert_eq!(inj.frames_dropped(), 50);
+    }
+
+    #[test]
+    fn certain_delay_is_within_bounds() {
+        let cfg = DisturbanceConfig {
+            delay_probability: 1.0,
+            delay_min_ns: 100,
+            delay_max_ns: 200,
+            ..DisturbanceConfig::none()
+        };
+        let mut inj = Injector::new(cfg, rng());
+        for _ in 0..200 {
+            match inj.decide() {
+                Disturbance::Deliver { extra_ns } => {
+                    assert!((100..200).contains(&extra_ns), "extra {extra_ns}")
+                }
+                Disturbance::Drop => panic!("no loss configured"),
+            }
+        }
+        assert_eq!(inj.frames_delayed(), 200);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_roughly_calibrated() {
+        let cfg = DisturbanceConfig {
+            loss_probability: 0.2,
+            ..DisturbanceConfig::none()
+        };
+        let mut inj = Injector::new(cfg, rng());
+        let n = 20_000;
+        for _ in 0..n {
+            inj.decide();
+        }
+        let rate = inj.frames_dropped() as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn jitter_can_be_negative_but_bounded() {
+        let cfg = DisturbanceConfig {
+            jitter_ns: 30,
+            ..DisturbanceConfig::none()
+        };
+        let mut inj = Injector::new(cfg, rng());
+        for _ in 0..500 {
+            match inj.decide() {
+                Disturbance::Deliver { extra_ns } => assert!((-30..=30).contains(&extra_ns)),
+                Disturbance::Drop => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let cfg = DisturbanceConfig {
+            delay_probability: 0.5,
+            delay_min_ns: 10,
+            delay_max_ns: 1000,
+            loss_probability: 0.1,
+            jitter_ns: 5,
+        };
+        let mut a = Injector::new(cfg.clone(), SimRng::new(99));
+        let mut b = Injector::new(cfg, SimRng::new(99));
+        for _ in 0..1000 {
+            assert_eq!(a.decide(), b.decide());
+        }
+    }
+}

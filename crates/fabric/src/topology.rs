@@ -1,0 +1,303 @@
+//! Star topology through a store-and-forward switch.
+//!
+//! The paper's testbed is two hosts on a Myri-10G Ethernet fabric. We model
+//! the general case: `n` host ports attached to one switch. A frame from
+//! port A to port B crosses:
+//!
+//! 1. A's egress serialization (host NIC TX) + cable propagation,
+//! 2. the switch store-and-forward latency once fully received,
+//! 3. the switch's egress port toward B (serialization, possibly queued
+//!    behind frames from other sources) + cable propagation.
+//!
+//! All state is per-port [`PortClock`]s, so contention between senders
+//! targeting the same destination emerges naturally.
+
+use crate::inject::{Disturbance, DisturbanceConfig, Injector};
+use crate::link::{LinkConfig, PortClock};
+use omx_sim::rng::SimRng;
+use omx_sim::{Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one host port on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub usize);
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Link characteristics (same for every hop; the testbed was homogeneous).
+    pub link: LinkConfig,
+    /// Switch store-and-forward processing latency in nanoseconds.
+    pub switch_latency_ns: u64,
+    /// Maximum transmission unit in bytes (payload handed to the fabric must
+    /// not exceed this; enforced with a panic because fragmentation is the
+    /// sender driver's job).
+    pub mtu: u32,
+    /// Disturbance injection.
+    pub disturbance: DisturbanceConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            link: LinkConfig::default(),
+            switch_latency_ns: 300,
+            mtu: 1500,
+            disturbance: DisturbanceConfig::none(),
+        }
+    }
+}
+
+/// Result of submitting a frame to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// The frame will arrive at the destination port at this absolute time.
+    Arrives(Time),
+    /// The injector dropped the frame.
+    Lost,
+}
+
+/// The simulated switch fabric.
+///
+/// ```
+/// use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
+/// use omx_sim::{rng::SimRng, Time};
+///
+/// let mut fabric = EthernetFabric::new(2, FabricConfig::default(), SimRng::new(1));
+/// match fabric.transmit(Time::ZERO, PortId(0), PortId(1), 1500) {
+///     TransmitOutcome::Arrives(at) => assert!(at > Time::ZERO),
+///     TransmitOutcome::Lost => unreachable!("no loss configured"),
+/// }
+/// ```
+pub struct EthernetFabric {
+    cfg: FabricConfig,
+    /// Host NIC egress ports (host -> switch direction).
+    host_egress: Vec<PortClock>,
+    /// Switch egress ports (switch -> host direction), one per destination.
+    switch_egress: Vec<PortClock>,
+    injector: Injector,
+    frames_carried: u64,
+    bytes_carried: u64,
+}
+
+impl EthernetFabric {
+    /// Build a fabric with `ports` host ports.
+    pub fn new(ports: usize, cfg: FabricConfig, rng: SimRng) -> Self {
+        let injector = Injector::new(cfg.disturbance.clone(), rng);
+        EthernetFabric {
+            cfg,
+            host_egress: vec![PortClock::new(); ports],
+            switch_egress: vec![PortClock::new(); ports],
+            injector,
+            frames_carried: 0,
+            bytes_carried: 0,
+        }
+    }
+
+    /// Fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Number of host ports.
+    pub fn ports(&self) -> usize {
+        self.host_egress.len()
+    }
+
+    /// Submit one frame of `frame_bytes` from `src` to `dst` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `frame_bytes` exceeds the MTU or the ports are out of range
+    /// or equal — those are orchestrator bugs, not runtime conditions.
+    pub fn transmit(
+        &mut self,
+        now: Time,
+        src: PortId,
+        dst: PortId,
+        frame_bytes: u32,
+    ) -> TransmitOutcome {
+        assert!(
+            frame_bytes <= self.cfg.mtu,
+            "frame of {frame_bytes} B exceeds MTU {}",
+            self.cfg.mtu
+        );
+        assert_ne!(src, dst, "loopback frames never reach the fabric");
+        let link = self.cfg.link;
+
+        // Hop 1: host egress + cable.
+        let (_, host_ser_end) = self.host_egress[src.0].reserve(now, &link, frame_bytes);
+        let at_switch = host_ser_end + link.propagation();
+
+        // Switch store-and-forward processing.
+        let forward_ready = at_switch + TimeDelta::from_nanos(self.cfg.switch_latency_ns as i64);
+
+        // Hop 2: switch egress toward dst + cable.
+        let (_, sw_ser_end) = self.switch_egress[dst.0].reserve(forward_ready, &link, frame_bytes);
+        let arrival = sw_ser_end + link.propagation();
+
+        match self.injector.decide() {
+            Disturbance::Drop => TransmitOutcome::Lost,
+            Disturbance::Deliver { extra_ns } => {
+                self.frames_carried += 1;
+                self.bytes_carried += frame_bytes as u64;
+                let arrival = arrival.saturating_add(TimeDelta::from_nanos(extra_ns));
+                // Disturbed frames may not arrive before they were sent.
+                let arrival = arrival.max(now);
+                TransmitOutcome::Arrives(arrival)
+            }
+        }
+    }
+
+    /// Unloaded one-way latency for a frame of `frame_bytes` (no queueing,
+    /// no disturbance): the baseline the paper's ping-pong rides on.
+    pub fn unloaded_latency(&self, frame_bytes: u32) -> TimeDelta {
+        let link = self.cfg.link;
+        link.serialization(frame_bytes)
+            + link.propagation()
+            + TimeDelta::from_nanos(self.cfg.switch_latency_ns as i64)
+            + link.serialization(frame_bytes)
+            + link.propagation()
+    }
+
+    /// Total frames successfully carried.
+    pub fn frames_carried(&self) -> u64 {
+        self.frames_carried
+    }
+
+    /// Total payload bytes successfully carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Frames dropped by the injector.
+    pub fn frames_dropped(&self) -> u64 {
+        self.injector.frames_dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(ports: usize) -> EthernetFabric {
+        EthernetFabric::new(ports, FabricConfig::default(), SimRng::new(1))
+    }
+
+    fn arrives(o: TransmitOutcome) -> Time {
+        match o {
+            TransmitOutcome::Arrives(t) => t,
+            TransmitOutcome::Lost => panic!("frame lost unexpectedly"),
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_matches_components() {
+        let mut f = fabric(2);
+        let t0 = Time::from_micros(10);
+        let got = arrives(f.transmit(t0, PortId(0), PortId(1), 1500));
+        assert_eq!(got - t0, f.unloaded_latency(1500));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_at_line_rate() {
+        let mut f = fabric(2);
+        let t0 = Time::ZERO;
+        let a1 = arrives(f.transmit(t0, PortId(0), PortId(1), 1500));
+        let a2 = arrives(f.transmit(t0, PortId(0), PortId(1), 1500));
+        let ser = f.config().link.serialization(1500);
+        assert_eq!(a2 - a1, ser, "pipeline spacing equals serialization time");
+    }
+
+    #[test]
+    fn two_senders_contend_on_destination_port() {
+        let mut f = fabric(3);
+        let t0 = Time::ZERO;
+        let a = arrives(f.transmit(t0, PortId(0), PortId(2), 1500));
+        let b = arrives(f.transmit(t0, PortId(1), PortId(2), 1500));
+        // Host egress is parallel, but the switch egress to port 2 serializes.
+        let ser = f.config().link.serialization(1500);
+        assert_eq!(b - a, ser);
+    }
+
+    #[test]
+    fn reverse_direction_is_independent() {
+        let mut f = fabric(2);
+        let t0 = Time::ZERO;
+        let fwd = arrives(f.transmit(t0, PortId(0), PortId(1), 1500));
+        let rev = arrives(f.transmit(t0, PortId(1), PortId(0), 1500));
+        assert_eq!(fwd - t0, rev - t0, "full duplex: directions do not interact");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MTU")]
+    fn oversized_frame_panics() {
+        let mut f = fabric(2);
+        f.transmit(Time::ZERO, PortId(0), PortId(1), 9000);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_panics() {
+        let mut f = fabric(2);
+        f.transmit(Time::ZERO, PortId(0), PortId(0), 100);
+    }
+
+    #[test]
+    fn accounting_counts_frames_and_bytes() {
+        let mut f = fabric(2);
+        f.transmit(Time::ZERO, PortId(0), PortId(1), 100);
+        f.transmit(Time::ZERO, PortId(0), PortId(1), 200);
+        assert_eq!(f.frames_carried(), 2);
+        assert_eq!(f.bytes_carried(), 300);
+        assert_eq!(f.frames_dropped(), 0);
+    }
+
+    #[test]
+    fn lossy_fabric_reports_drops() {
+        let cfg = FabricConfig {
+            disturbance: DisturbanceConfig {
+                loss_probability: 1.0,
+                ..DisturbanceConfig::none()
+            },
+            ..FabricConfig::default()
+        };
+        let mut f = EthernetFabric::new(2, cfg, SimRng::new(3));
+        assert_eq!(
+            f.transmit(Time::ZERO, PortId(0), PortId(1), 100),
+            TransmitOutcome::Lost
+        );
+        assert_eq!(f.frames_dropped(), 1);
+        assert_eq!(f.frames_carried(), 0);
+    }
+
+    #[test]
+    fn delayed_frames_can_overtake() {
+        // Frame 1 gets a large extra delay, frame 2 none: with certainty of
+        // delay only on some frames this is probabilistic; here we force the
+        // situation by alternating configs across two fabrics and comparing.
+        let cfg = FabricConfig {
+            disturbance: DisturbanceConfig {
+                delay_probability: 0.5,
+                delay_min_ns: 50_000,
+                delay_max_ns: 50_001,
+                ..DisturbanceConfig::none()
+            },
+            ..FabricConfig::default()
+        };
+        let mut f = EthernetFabric::new(2, cfg, SimRng::new(7));
+        let mut arrivals = Vec::new();
+        for _ in 0..64 {
+            if let TransmitOutcome::Arrives(t) =
+                f.transmit(Time::ZERO, PortId(0), PortId(1), 1500)
+            {
+                arrivals.push(t);
+            }
+        }
+        let sorted = {
+            let mut s = arrivals.clone();
+            s.sort();
+            s
+        };
+        assert_ne!(arrivals, sorted, "expected at least one reordering");
+    }
+}

@@ -1,0 +1,172 @@
+//! The calibrated cost model.
+//!
+//! All host-side nanosecond constants live here so that every experiment is
+//! reproducible from one serialisable config and so the calibration section
+//! of DESIGN.md has a single place to point at.
+//!
+//! Calibration anchors from the paper (§IV, Xeon E5345 2.33 GHz testbed):
+//!
+//! * per-packet receive overhead with an interrupt per packet: **965 ns**;
+//!   with 75 µs coalescing: **774 ns**; binding interrupts to one core
+//!   saves another **~40 ns** (§IV-B2) — this pins `lowlevel_rx_ns`,
+//!   `irq_dispatch_ns` and `lowlevel_bounce_ns`,
+//! * small-message ping-pong latency ~**10 µs** one-way with coalescing
+//!   disabled (§IV-B3) — pins the sum of the send path, wire, DMA and
+//!   receive path constants,
+//! * peak small-message rate ~**490k msg/s** with default coalescing and
+//!   ~**252k** with it disabled (Table I) — pins the per-message costs and
+//!   the sleep/wakeup penalty,
+//! * C1E exit takes "several microseconds" (§IV-B1) — `wakeup_ns`.
+
+use serde::{Deserialize, Serialize};
+
+/// Every host-side timing constant of the simulation, in nanoseconds unless
+/// stated otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    // -- interrupt path ------------------------------------------------------
+    /// Hardware + software interrupt dispatch (vector, context save/restore,
+    /// NAPI scheduling), paid once per interrupt.
+    pub irq_dispatch_ns: u64,
+    /// C1E exit latency in the interrupt path, paid when the target core
+    /// was asleep (hardware exit only — the expensive part of waking a
+    /// *blocked process* is `proc_wakeup_ns`).
+    pub wakeup_ns: u64,
+    /// A core with no activity for this long is considered asleep
+    /// (when sleeping is enabled).
+    pub idle_sleep_threshold_ns: u64,
+
+    // -- per-packet receive path ----------------------------------------------
+    /// Low-level Ethernet receive cost per packet (driver + netif stack up to
+    /// the Open-MX handler hand-off).
+    pub lowlevel_rx_ns: u64,
+    /// Extra low-level cost per packet when this batch runs on a different
+    /// core than the previous one (cold driver structures).
+    pub lowlevel_bounce_ns: u64,
+    /// Open-MX receive handler cost per packet: demultiplex, match, event
+    /// bookkeeping (excludes the payload copy).
+    pub omx_handler_ns: u64,
+    /// Extra per-batch cost when the Open-MX channel descriptors were last
+    /// touched by a different core (cache-line bounces of shared state).
+    pub omx_channel_bounce_ns: u64,
+    /// Payload copy bandwidth into the user-space event ring / receive
+    /// buffers, bytes per microsecond.
+    pub copy_bytes_per_us: u64,
+    /// Cost of posting one event into the user-visible ring.
+    pub event_ring_ns: u64,
+
+    // -- send path -------------------------------------------------------------
+    /// User-space + driver send cost per message (ioctl-less MX-style post).
+    pub send_post_ns: u64,
+    /// Per-fragment driver send cost (fragmentation loop, skb setup).
+    pub send_frag_ns: u64,
+    /// Payload copy bandwidth on the send side, bytes per microsecond.
+    pub send_copy_bytes_per_us: u64,
+    /// NIC TX doorbell-to-wire fixed latency.
+    pub tx_doorbell_ns: u64,
+
+    // -- application ------------------------------------------------------------
+    /// User-space cost to consume one completion event while polling.
+    pub app_event_ns: u64,
+    /// Scheduler latency to wake a process blocked in `mx_wait` when a
+    /// completion arrives after an idle period and the core had entered C1E
+    /// (§IV-B1: "several microseconds may be needed before the interrupt is
+    /// actually processed" when "the MPI process running on this core is
+    /// waiting for an I/O to complete"). The Fig. 4 "sleeping disabled"
+    /// configuration replaces this with `proc_wakeup_nosleep_ns`.
+    pub proc_wakeup_ns: u64,
+    /// Process wakeup latency with sleep states disabled (`idle=poll`):
+    /// just the scheduler hand-off, no C1E exit in the path.
+    pub proc_wakeup_nosleep_ns: u64,
+    /// An application idle for longer than this is considered blocked in
+    /// `mx_wait` and pays `proc_wakeup_ns` on the next completion.
+    pub proc_idle_gap_ns: u64,
+    /// Extra cost of an interrupt that preempts a *running application* on
+    /// its core: context save/restore plus the user process's cache and TLB
+    /// pollution (§II-A: interrupts cost "several microseconds" when they
+    /// displace an execution context). Idle cores don't pay it, which is why
+    /// the drop-only overhead microbenchmark (§IV-B2) sees only the bare
+    /// dispatch cost.
+    pub irq_preempt_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            irq_dispatch_ns: 190,
+            wakeup_ns: 600,
+            idle_sleep_threshold_ns: 5_000,
+            lowlevel_rx_ns: 700,
+            lowlevel_bounce_ns: 40,
+            omx_handler_ns: 300,
+            omx_channel_bounce_ns: 260,
+            copy_bytes_per_us: 700,
+            event_ring_ns: 80,
+            send_post_ns: 1_750,
+            send_frag_ns: 260,
+            send_copy_bytes_per_us: 3_200,
+            tx_doorbell_ns: 900,
+            app_event_ns: 210,
+            proc_wakeup_ns: 2_400,
+            proc_wakeup_nosleep_ns: 1_000,
+            proc_idle_gap_ns: 1_200,
+            irq_preempt_ns: 1_300,
+        }
+    }
+}
+
+impl CostModel {
+    /// Copy time for `bytes` on the receive side.
+    pub fn rx_copy_ns(&self, bytes: u32) -> u64 {
+        (bytes as u64 * 1_000).div_ceil(self.copy_bytes_per_us)
+    }
+
+    /// Copy time for `bytes` on the send side.
+    pub fn tx_copy_ns(&self, bytes: u32) -> u64 {
+        (bytes as u64 * 1_000).div_ceil(self.send_copy_bytes_per_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_matches_overhead_anchor() {
+        // §IV-B2: with an interrupt per packet the per-packet receive
+        // overhead is ~965 ns; with heavy coalescing it drops to ~774 ns
+        // (packets dropped before the Open-MX handler, so only the low-level
+        // path counts). Keep the defaults within a few percent of those.
+        let m = CostModel::default();
+        let coalesced = m.lowlevel_rx_ns + m.lowlevel_bounce_ns;
+        let disabled = coalesced + m.irq_dispatch_ns;
+        // The paper measured 774 / 965 ns; the calibrated model sits within
+        // ±8 % of both anchors (the residual went into the full-path copy
+        // costs pinned by Tables I and II).
+        assert!(
+            (712..=836).contains(&coalesced),
+            "coalesced per-packet {coalesced} outside anchor"
+        );
+        assert!(
+            (888..=1042).contains(&disabled),
+            "disabled per-packet {disabled} outside anchor"
+        );
+    }
+
+    #[test]
+    fn copy_times_scale() {
+        let m = CostModel::default();
+        assert_eq!(m.rx_copy_ns(0), 0);
+        assert!(m.rx_copy_ns(3_200) >= 1_000);
+        assert!(m.tx_copy_ns(32_000) >= 10_000);
+    }
+
+    #[test]
+    fn rounding_is_ceil() {
+        let m = CostModel {
+            copy_bytes_per_us: 1000,
+            ..CostModel::default()
+        };
+        assert_eq!(m.rx_copy_ns(1), 1, "sub-nanosecond copies round up");
+    }
+}

@@ -1,0 +1,80 @@
+//! Interrupt routing policies.
+//!
+//! The paper contrasts the chipset default — interrupts scattered across all
+//! cores in a round-robin manner — with binding all interrupts to a single
+//! core (Fig. 4 and §IV-B2). The future-work multiqueue idea (§VI) hashes a
+//! flow identifier to a fixed core per communication channel.
+
+use serde::{Deserialize, Serialize};
+
+/// How MSI interrupts are steered to cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqRouting {
+    /// Scatter across all cores in round-robin order (chipset default).
+    RoundRobin,
+    /// Deliver every interrupt to this core (`echo ... > smp_affinity`).
+    Fixed(usize),
+    /// Hash the flow id to a core (multiqueue, §VI future work).
+    Multiqueue,
+}
+
+impl IrqRouting {
+    /// Pick the target core for the next interrupt.
+    ///
+    /// `rr_state` is the router's mutable round-robin cursor; `flow` is a
+    /// stable identifier of the packet flow (used by `Multiqueue`);
+    /// `n_cores` is the core count of the node.
+    pub fn pick(&self, rr_state: &mut usize, flow: u64, n_cores: usize) -> usize {
+        debug_assert!(n_cores > 0);
+        match self {
+            IrqRouting::RoundRobin => {
+                let core = *rr_state % n_cores;
+                *rr_state = (*rr_state + 1) % n_cores;
+                core
+            }
+            IrqRouting::Fixed(core) => {
+                debug_assert!(*core < n_cores, "bound core out of range");
+                *core
+            }
+            // Channel-to-core attachment: endpoint channels map directly to
+            // the core their consumer is pinned on (endpoint i -> core
+            // i % cores in the cluster layout); other flows hash.
+            IrqRouting::Multiqueue => (flow % n_cores as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_all_cores() {
+        let r = IrqRouting::RoundRobin;
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..8).map(|_| r.pick(&mut cursor, 0, 4)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_always_same_core() {
+        let r = IrqRouting::Fixed(2);
+        let mut cursor = 0;
+        for flow in 0..16 {
+            assert_eq!(r.pick(&mut cursor, flow, 8), 2);
+        }
+    }
+
+    #[test]
+    fn multiqueue_is_stable_per_flow_and_spreads() {
+        let r = IrqRouting::Multiqueue;
+        let mut cursor = 0;
+        let a1 = r.pick(&mut cursor, 42, 8);
+        let a2 = r.pick(&mut cursor, 42, 8);
+        assert_eq!(a1, a2, "same flow maps to same core");
+        assert_eq!(r.pick(&mut cursor, 3, 8), 3, "channel i lands on core i");
+        let distinct: std::collections::HashSet<usize> =
+            (0..64).map(|f| r.pick(&mut cursor, f, 8)).collect();
+        assert!(distinct.len() >= 4, "flows spread over cores: {distinct:?}");
+    }
+}

@@ -1,0 +1,342 @@
+//! Collective decomposition into point-to-point rounds.
+//!
+//! Every collective is expressed as a sequence of *rounds*; each round tells
+//! a rank whether to send, receive, or exchange with one peer. Rounds are
+//! synchronised implicitly by message matching (a rank cannot finish round
+//! `k` before its round-`k` message arrives), exactly like the MPI
+//! implementations these algorithms come from.
+
+/// What one rank does in one round of a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundAction {
+    /// Exchange `send_bytes`/`recv_bytes` with `peer` simultaneously.
+    Exchange {
+        /// Partner rank.
+        peer: usize,
+        /// Bytes sent to the partner.
+        send_bytes: u32,
+        /// Bytes expected from the partner.
+        recv_bytes: u32,
+    },
+    /// Send only.
+    Send {
+        /// Destination rank.
+        peer: usize,
+        /// Payload.
+        bytes: u32,
+    },
+    /// Receive only.
+    Recv {
+        /// Source rank.
+        peer: usize,
+    },
+    /// Idle this round (still advances to the next round).
+    Idle,
+}
+
+fn log2_ceil(p: usize) -> u32 {
+    p.next_power_of_two().trailing_zeros()
+}
+
+/// Pairwise-exchange barrier: round `k` swaps a token with rank `^ 2^k`
+/// (the recursive-doubling variant; equivalent round count to dissemination
+/// for the power-of-two worlds the paper uses).
+pub fn barrier_round(rank: usize, ranks: usize, round: u32) -> Option<RoundAction> {
+    assert!(ranks.is_power_of_two(), "barrier needs a power-of-two world");
+    if ranks == 1 || round >= log2_ceil(ranks) {
+        return None;
+    }
+    let peer = rank ^ (1usize << round);
+    Some(RoundAction::Exchange {
+        peer,
+        send_bytes: 8,
+        recv_bytes: 8,
+    })
+}
+
+/// Binomial broadcast: in round `k`, ranks `rel < 2^k` (which already hold
+/// the data) send to `rel + 2^k`, root-relative.
+pub fn bcast_round(
+    rank: usize,
+    ranks: usize,
+    root: usize,
+    bytes: u32,
+    round: u32,
+) -> Option<RoundAction> {
+    let rounds = log2_ceil(ranks);
+    if round >= rounds {
+        return None;
+    }
+    // Work in root-relative space.
+    let rel = (rank + ranks - root) % ranks;
+    let dist = 1usize << round;
+    if rel < dist {
+        let peer_rel = rel + dist;
+        if peer_rel < ranks {
+            return Some(RoundAction::Send {
+                peer: (peer_rel + root) % ranks,
+                bytes,
+            });
+        }
+        Some(RoundAction::Idle)
+    } else if rel < 2 * dist {
+        Some(RoundAction::Recv {
+            peer: ((rel - dist) + root) % ranks,
+        })
+    } else {
+        Some(RoundAction::Idle)
+    }
+}
+
+/// Binomial reduce: the mirror image of broadcast.
+pub fn reduce_round(
+    rank: usize,
+    ranks: usize,
+    root: usize,
+    bytes: u32,
+    round: u32,
+) -> Option<RoundAction> {
+    let rounds = log2_ceil(ranks);
+    if round >= rounds {
+        return None;
+    }
+    let rel = (rank + ranks - root) % ranks;
+    let dist = 1usize << round;
+    if rel.is_multiple_of(2 * dist) {
+        let peer_rel = rel + dist;
+        if peer_rel < ranks {
+            return Some(RoundAction::Recv {
+                peer: (peer_rel + root) % ranks,
+            });
+        }
+        Some(RoundAction::Idle)
+    } else if rel % (2 * dist) == dist {
+        Some(RoundAction::Send {
+            peer: ((rel - dist) + root) % ranks,
+            bytes,
+        })
+    } else {
+        Some(RoundAction::Idle)
+    }
+}
+
+/// Recursive-doubling allreduce (power-of-two rank counts).
+pub fn allreduce_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
+    assert!(ranks.is_power_of_two(), "allreduce needs a power-of-two world");
+    if round >= log2_ceil(ranks) {
+        return None;
+    }
+    let peer = rank ^ (1usize << round);
+    Some(RoundAction::Exchange {
+        peer,
+        send_bytes: bytes,
+        recv_bytes: bytes,
+    })
+}
+
+/// Recursive-doubling allgather: exchanged volume doubles each round.
+pub fn allgather_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
+    assert!(ranks.is_power_of_two(), "allgather needs a power-of-two world");
+    if round >= log2_ceil(ranks) {
+        return None;
+    }
+    let peer = rank ^ (1usize << round);
+    let vol = bytes.saturating_mul(1 << round);
+    Some(RoundAction::Exchange {
+        peer,
+        send_bytes: vol,
+        recv_bytes: vol,
+    })
+}
+
+/// Pairwise-exchange alltoall: round `k ≥ 1` exchanges with `rank ^ k`.
+pub fn alltoall_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
+    assert!(ranks.is_power_of_two(), "alltoall needs a power-of-two world");
+    let r = round as usize + 1;
+    if r >= ranks {
+        return None;
+    }
+    let peer = rank ^ r;
+    Some(RoundAction::Exchange {
+        peer,
+        send_bytes: bytes,
+        recv_bytes: bytes,
+    })
+}
+
+/// Pairwise-exchange alltoallv with per-destination sizes.
+pub fn alltoallv_round(
+    rank: usize,
+    ranks: usize,
+    bytes: &[u32],
+    round: u32,
+) -> Option<RoundAction> {
+    assert!(ranks.is_power_of_two(), "alltoallv needs a power-of-two world");
+    assert_eq!(bytes.len(), ranks, "one size per destination");
+    let r = round as usize + 1;
+    if r >= ranks {
+        return None;
+    }
+    let peer = rank ^ r;
+    Some(RoundAction::Exchange {
+        peer,
+        send_bytes: bytes[peer],
+        // With symmetric pairwise exchange the reverse size is the peer's
+        // entry for us; the executor looks it up on its own side, so here we
+        // only need "expect something from peer".
+        recv_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn barrier_has_log_rounds() {
+        assert_eq!(barrier_round(0, 16, 4), None);
+        assert!(barrier_round(0, 16, 3).is_some());
+        match barrier_round(3, 16, 1).unwrap() {
+            RoundAction::Exchange { peer, .. } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_exactly_once() {
+        let ranks = 16;
+        for root in [0usize, 5] {
+            let mut has_data: HashSet<usize> = HashSet::from([root]);
+            for round in 0..4 {
+                let mut received = Vec::new();
+                for r in 0..ranks {
+                    match bcast_round(r, ranks, root, 100, round) {
+                        Some(RoundAction::Send { peer, .. }) => {
+                            assert!(
+                                has_data.contains(&r),
+                                "round {round}: rank {r} sends without data (root {root})"
+                            );
+                            received.push(peer);
+                        }
+                        Some(RoundAction::Recv { peer }) => {
+                            assert!(has_data.contains(&peer));
+                        }
+                        _ => {}
+                    }
+                }
+                for p in received {
+                    assert!(has_data.insert(p), "rank {p} received twice");
+                }
+            }
+            assert_eq!(has_data.len(), ranks, "root {root}");
+        }
+    }
+
+    #[test]
+    fn bcast_send_recv_pairs_are_consistent() {
+        let ranks = 16;
+        for root in 0..ranks {
+            for round in 0..4 {
+                for r in 0..ranks {
+                    if let Some(RoundAction::Send { peer, .. }) =
+                        bcast_round(r, ranks, root, 1, round)
+                    {
+                        match bcast_round(peer, ranks, root, 1, round) {
+                            Some(RoundAction::Recv { peer: from }) => assert_eq!(from, r),
+                            other => panic!(
+                                "rank {peer} should recv from {r} in round {round} (root {root}), got {other:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_send_recv_pairs_are_consistent() {
+        let ranks = 16;
+        for root in 0..ranks {
+            for round in 0..4 {
+                for r in 0..ranks {
+                    if let Some(RoundAction::Send { peer, .. }) =
+                        reduce_round(r, ranks, root, 1, round)
+                    {
+                        match reduce_round(peer, ranks, root, 1, round) {
+                            Some(RoundAction::Recv { peer: from }) => assert_eq!(from, r),
+                            other => panic!(
+                                "rank {peer} should recv from {r} in round {round} (root {root}), got {other:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_partners_are_symmetric() {
+        let ranks = 16;
+        for round in 0..4 {
+            for r in 0..ranks {
+                let Some(RoundAction::Exchange { peer, .. }) =
+                    allreduce_round(r, ranks, 8, round)
+                else {
+                    panic!("round exists");
+                };
+                let Some(RoundAction::Exchange { peer: back, .. }) =
+                    allreduce_round(peer, ranks, 8, round)
+                else {
+                    panic!("round exists");
+                };
+                assert_eq!(back, r);
+            }
+        }
+        assert_eq!(allreduce_round(0, 16, 8, 4), None);
+    }
+
+    #[test]
+    fn alltoall_visits_every_peer_once() {
+        let ranks = 16;
+        for r in 0..ranks {
+            let mut seen = HashSet::new();
+            let mut round = 0;
+            while let Some(RoundAction::Exchange { peer, .. }) =
+                alltoall_round(r, ranks, 1, round)
+            {
+                assert!(seen.insert(peer));
+                assert_ne!(peer, r);
+                round += 1;
+            }
+            assert_eq!(seen.len(), ranks - 1);
+        }
+    }
+
+    #[test]
+    fn allgather_volume_doubles() {
+        let ranks = 8;
+        let mut total = 0u32;
+        for round in 0..3 {
+            if let Some(RoundAction::Exchange { send_bytes, .. }) =
+                allgather_round(0, ranks, 100, round)
+            {
+                total += send_bytes;
+            }
+        }
+        assert_eq!(total, 700, "100 + 200 + 400");
+    }
+
+    #[test]
+    fn alltoallv_uses_destination_sizes() {
+        let sizes: Vec<u32> = (0..16).collect();
+        let Some(RoundAction::Exchange {
+            peer, send_bytes, ..
+        }) = alltoallv_round(2, 16, &sizes, 0)
+        else {
+            panic!()
+        };
+        assert_eq!(peer, 3);
+        assert_eq!(send_bytes, 3);
+    }
+}

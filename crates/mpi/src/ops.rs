@@ -1,0 +1,173 @@
+//! The rank-program operation set.
+//!
+//! NAS communication skeletons are sequences of these operations, executed
+//! in lockstep program order on every rank (collectives must appear at the
+//! same op index everywhere, like real MPI call sites).
+
+use serde::{Deserialize, Serialize};
+
+/// One step of a rank program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Local computation for this many nanoseconds of *CPU time* — wall
+    /// time extends when interrupt handlers steal the core.
+    Compute(u64),
+    /// Blocking send of `bytes` to `peer` with `tag`.
+    Send {
+        /// Destination rank.
+        peer: usize,
+        /// Message size in bytes.
+        bytes: u32,
+        /// Message tag (matched exactly, together with the op index).
+        tag: u32,
+    },
+    /// Blocking receive from `peer` with `tag`.
+    Recv {
+        /// Source rank.
+        peer: usize,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Simultaneous exchange with `peer` (send and receive `bytes`).
+    SendRecv {
+        /// Partner rank.
+        peer: usize,
+        /// Bytes sent (and expected) in each direction.
+        bytes: u32,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast of `bytes` from `root`.
+    Bcast {
+        /// Root rank.
+        root: usize,
+        /// Payload size.
+        bytes: u32,
+    },
+    /// Binomial-tree reduction of `bytes` to `root`.
+    Reduce {
+        /// Root rank.
+        root: usize,
+        /// Payload size.
+        bytes: u32,
+    },
+    /// Recursive-doubling allreduce of `bytes`.
+    Allreduce {
+        /// Payload size.
+        bytes: u32,
+    },
+    /// Recursive-doubling allgather: each rank contributes `bytes`.
+    Allgather {
+        /// Per-rank contribution.
+        bytes: u32,
+    },
+    /// Pairwise-exchange alltoall: `bytes` to every other rank.
+    Alltoall {
+        /// Bytes sent to each peer.
+        bytes: u32,
+    },
+    /// Pairwise-exchange alltoallv: `bytes[d]` to destination rank `d`
+    /// (entry for self is ignored).
+    Alltoallv {
+        /// Bytes sent to each rank, indexed by destination.
+        bytes: Vec<u32>,
+    },
+}
+
+impl Op {
+    /// Total bytes this op sends from one rank (for traffic accounting).
+    pub fn bytes_sent(&self, ranks: usize) -> u64 {
+        match self {
+            Op::Compute(_) | Op::Recv { .. } => 0,
+            Op::Send { bytes, .. } | Op::SendRecv { bytes, .. } => u64::from(*bytes),
+            Op::Barrier => {
+                // log2(P) rounds of an 8-byte token.
+                8 * ranks.next_power_of_two().trailing_zeros() as u64
+            }
+            Op::Bcast { bytes, .. } | Op::Reduce { bytes, .. } => u64::from(*bytes),
+            Op::Allreduce { bytes } => {
+                u64::from(*bytes) * ranks.next_power_of_two().trailing_zeros() as u64
+            }
+            Op::Allgather { bytes } => u64::from(*bytes) * (ranks.saturating_sub(1)) as u64,
+            Op::Alltoall { bytes } => u64::from(*bytes) * (ranks.saturating_sub(1)) as u64,
+            Op::Alltoallv { bytes } => bytes.iter().map(|b| u64::from(*b)).sum(),
+        }
+    }
+}
+
+/// Convenience builder for rank programs.
+#[derive(Debug, Default, Clone)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one op.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append `n` repetitions of a block of ops.
+    pub fn repeat(mut self, n: usize, block: &[Op]) -> Self {
+        for _ in 0..n {
+            self.ops.extend_from_slice(block);
+        }
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_accounting() {
+        assert_eq!(Op::Compute(10).bytes_sent(16), 0);
+        assert_eq!(
+            Op::Send {
+                peer: 1,
+                bytes: 100,
+                tag: 0
+            }
+            .bytes_sent(16),
+            100
+        );
+        assert_eq!(Op::Allreduce { bytes: 8 }.bytes_sent(16), 32); // 4 rounds
+        assert_eq!(Op::Alltoall { bytes: 10 }.bytes_sent(16), 150);
+        assert_eq!(
+            Op::Alltoallv {
+                bytes: vec![1, 2, 3]
+            }
+            .bytes_sent(16),
+            6
+        );
+        assert_eq!(Op::Barrier.bytes_sent(16), 32);
+    }
+
+    #[test]
+    fn builder_repeats_blocks() {
+        let prog = ProgramBuilder::new()
+            .op(Op::Barrier)
+            .repeat(
+                3,
+                &[Op::Compute(5), Op::Allreduce { bytes: 8 }],
+            )
+            .build();
+        assert_eq!(prog.len(), 7);
+        assert_eq!(prog[1], Op::Compute(5));
+        assert_eq!(prog[6], Op::Allreduce { bytes: 8 });
+    }
+}

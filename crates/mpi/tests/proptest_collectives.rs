@@ -1,0 +1,155 @@
+//! Property tests for the collective round decompositions: conservation
+//! (every send has a matching receive in the same round) and termination.
+
+use omx_mpi::collectives::{
+    allgather_round, allreduce_round, alltoall_round, alltoallv_round, barrier_round, bcast_round,
+    reduce_round, RoundAction,
+};
+use proptest::prelude::*;
+
+fn pow2_ranks() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32)]
+}
+
+/// Check that, in every round, send/recv/exchange actions pair up exactly.
+fn assert_round_consistent(
+    ranks: usize,
+    round: u32,
+    action_of: impl Fn(usize) -> Option<RoundAction>,
+) -> Result<bool, TestCaseError> {
+    let actions: Vec<Option<RoundAction>> = (0..ranks).map(&action_of).collect();
+    let any = actions.iter().any(|a| a.is_some());
+    if !any {
+        return Ok(false); // collective finished for everyone
+    }
+    for (r, action) in actions.iter().enumerate() {
+        match action {
+            None | Some(RoundAction::Idle) => {}
+            Some(RoundAction::Exchange { peer, .. }) => {
+                prop_assert_ne!(*peer, r, "self-exchange");
+                match actions[*peer] {
+                    Some(RoundAction::Exchange { peer: back, .. }) => {
+                        prop_assert_eq!(back, r, "round {}: exchange not mutual", round)
+                    }
+                    ref other => prop_assert!(false, "partner of {} has {:?}", r, other),
+                }
+            }
+            Some(RoundAction::Send { peer, .. }) => match actions[*peer] {
+                Some(RoundAction::Recv { peer: from }) => {
+                    prop_assert_eq!(from, r, "round {}: recv source mismatch", round)
+                }
+                ref other => prop_assert!(false, "send target of {} has {:?}", r, other),
+            },
+            Some(RoundAction::Recv { peer }) => match actions[*peer] {
+                Some(RoundAction::Send { peer: to, .. }) => prop_assert_eq!(to, r),
+                ref other => prop_assert!(false, "recv source of {} has {:?}", r, other),
+            },
+        }
+    }
+    Ok(true)
+}
+
+proptest! {
+    #[test]
+    fn barrier_rounds_pair_up(ranks in pow2_ranks()) {
+        for round in 0..16 {
+            if !assert_round_consistent(ranks, round, |r| barrier_round(r, ranks, round))? {
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "barrier never terminated");
+    }
+
+    #[test]
+    fn bcast_rounds_pair_up(ranks in pow2_ranks(), root in 0usize..32) {
+        let root = root % ranks;
+        for round in 0..16 {
+            if !assert_round_consistent(ranks, round, |r| bcast_round(r, ranks, root, 64, round))? {
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "bcast never terminated");
+    }
+
+    #[test]
+    fn reduce_rounds_pair_up(ranks in pow2_ranks(), root in 0usize..32) {
+        let root = root % ranks;
+        for round in 0..16 {
+            if !assert_round_consistent(ranks, round, |r| reduce_round(r, ranks, root, 64, round))? {
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "reduce never terminated");
+    }
+
+    #[test]
+    fn allreduce_and_allgather_pair_up(ranks in pow2_ranks(), bytes in 1u32..1_000_000) {
+        for round in 0..16 {
+            if !assert_round_consistent(ranks, round, |r| allreduce_round(r, ranks, bytes, round))? {
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "allreduce never terminated");
+    }
+
+    #[test]
+    fn allgather_total_volume_is_full_vector(ranks in pow2_ranks(), bytes in 1u32..10_000) {
+        // After all rounds, each rank has sent bytes * (ranks - 1) in total
+        // (its contribution forwarded along the doubling tree).
+        let mut sent = 0u64;
+        for round in 0..16 {
+            match allgather_round(0, ranks, bytes, round) {
+                Some(RoundAction::Exchange { send_bytes, .. }) => sent += u64::from(send_bytes),
+                None => break,
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        prop_assert_eq!(sent, u64::from(bytes) * (ranks as u64 - 1));
+    }
+
+    #[test]
+    fn alltoall_is_a_permutation_every_round(ranks in pow2_ranks(), bytes in 1u32..100_000) {
+        for round in 0..(ranks as u32 - 1) {
+            let mut seen = vec![false; ranks];
+            for r in 0..ranks {
+                let Some(RoundAction::Exchange { peer, .. }) = alltoall_round(r, ranks, bytes, round) else {
+                    prop_assert!(false, "round {round} missing for rank {r}");
+                    unreachable!()
+                };
+                prop_assert!(!seen[peer], "peer {peer} used twice in round {round}");
+                seen[peer] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "round {round} not a permutation");
+        }
+        prop_assert!(alltoall_round(0, ranks, bytes, ranks as u32 - 1).is_none());
+    }
+
+    #[test]
+    fn alltoallv_sends_each_destination_its_size(
+        ranks in pow2_ranks(),
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random per-destination sizes.
+        let sizes: Vec<u32> = (0..ranks)
+            .map(|i| ((seed >> (i % 48)) & 0xFFFF) as u32)
+            .collect();
+        let mut sent_to = vec![None::<u32>; ranks];
+        for round in 0..64 {
+            match alltoallv_round(0, ranks, &sizes, round) {
+                Some(RoundAction::Exchange { peer, send_bytes, .. }) => {
+                    prop_assert!(sent_to[peer].is_none(), "peer {peer} visited twice");
+                    sent_to[peer] = Some(send_bytes);
+                }
+                None => break,
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        for (peer, sent) in sent_to.iter().enumerate() {
+            if peer == 0 {
+                prop_assert!(sent.is_none(), "no self-send");
+            } else {
+                prop_assert_eq!(sent.expect("every peer visited"), sizes[peer]);
+            }
+        }
+    }
+}

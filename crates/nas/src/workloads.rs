@@ -1,0 +1,378 @@
+//! Benchmark skeleton definitions.
+//!
+//! Sources for the communication patterns: the NPB 2.4 MPI reference codes
+//! and their problem-class tables. For 16 ranks:
+//!
+//! * **IS** — 10 ranking iterations; each does a 1 KiB-scale allreduce of
+//!   bucket counts, a tiny alltoall of send counts, then an alltoallv
+//!   redistributing all `N` keys (4 B each): `N/P²` bytes per rank pair
+//!   (B: 512 KiB, C: 2 MiB). Large-message intensive — the benchmark the
+//!   paper's strategies move the most.
+//! * **FT** — 20 iterations; each transposes the grid with an alltoall of
+//!   `grid·16 B / P²` per pair (B: 2 MiB). Class C needs more memory than
+//!   the paper's nodes had ("Not enough memory") and is reported as such.
+//! * **CG** — 75 outer × 25 inner conjugate-gradient steps; each inner step
+//!   exchanges the `w` vector with the row partner (na/4 doubles: B 150 KiB,
+//!   C 300 KiB) twice (reduce stage + transpose) and allreduces two scalars.
+//! * **EP** — embarrassingly parallel: one long compute phase and a few
+//!   tiny allreduces.
+//! * **LU** — 250 SSOR iterations; wavefront exchanges of ~20 KiB faces
+//!   with the north/south and east/west neighbours.
+//! * **MG** — 20 V-cycles over 6 grid levels; per level one face exchange
+//!   with a neighbour (sizes halving from 512 KiB down to 512 B) plus a
+//!   scalar allreduce per cycle.
+//! * **BT / SP** — 200 / 400 ADI iterations; per iteration six face
+//!   exchanges (two per dimension) of ~240 / ~120 KiB.
+//!
+//! Compute phases are calibrated so the *default-coalescing* run approaches
+//! the paper's Table IV baseline; see `CALIBRATION` below. Neighbour
+//! relations use XOR partners so that, under the paper's block rank
+//! placement, low bits stay intra-node (shared memory) and bit 3 crosses
+//! nodes — matching the NPB topology's mix.
+
+use omx_mpi::ops::{Op, ProgramBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The eight NPB kernels the paper runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NasBenchmark {
+    /// Block-tridiagonal solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// Embarrassingly parallel.
+    Ep,
+    /// 3-D FFT.
+    Ft,
+    /// Integer sort.
+    Is,
+    /// LU decomposition (SSOR).
+    Lu,
+    /// Multigrid.
+    Mg,
+    /// Scalar-pentadiagonal solver.
+    Sp,
+}
+
+impl NasBenchmark {
+    /// All kernels in the paper's table order.
+    pub const ALL: [NasBenchmark; 8] = [
+        NasBenchmark::Bt,
+        NasBenchmark::Cg,
+        NasBenchmark::Ep,
+        NasBenchmark::Ft,
+        NasBenchmark::Is,
+        NasBenchmark::Lu,
+        NasBenchmark::Mg,
+        NasBenchmark::Sp,
+    ];
+
+    /// Lower-case name, as in `is.C.16`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasBenchmark::Bt => "bt",
+            NasBenchmark::Cg => "cg",
+            NasBenchmark::Ep => "ep",
+            NasBenchmark::Ft => "ft",
+            NasBenchmark::Is => "is",
+            NasBenchmark::Lu => "lu",
+            NasBenchmark::Mg => "mg",
+            NasBenchmark::Sp => "sp",
+        }
+    }
+}
+
+/// Problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NasClass {
+    /// Class B.
+    B,
+    /// Class C.
+    C,
+    /// Tiny class for fast tests (not an NPB class).
+    Mini,
+}
+
+impl NasClass {
+    /// Upper-case letter, as in `is.C.16`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasClass::B => "B",
+            NasClass::C => "C",
+            NasClass::Mini => "mini",
+        }
+    }
+}
+
+/// One benchmark × class combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NasSpec {
+    /// Kernel.
+    pub benchmark: NasBenchmark,
+    /// Problem class.
+    pub class: NasClass,
+}
+
+impl NasSpec {
+    /// `false` for `ft.C`, which the paper's nodes could not fit in memory.
+    pub fn is_runnable(&self) -> bool {
+        !(self.benchmark == NasBenchmark::Ft && self.class == NasClass::C)
+    }
+
+    /// Display name, e.g. `is.C.16`.
+    pub fn name(&self) -> String {
+        format!("{}.{}.16", self.benchmark.name(), self.class.name())
+    }
+}
+
+/// Per-iteration compute time (ns) calibrated against Table IV's default
+/// column, and the structural parameters of each skeleton.
+struct Shape {
+    iters: usize,
+    compute_ns: u64,
+    /// Message size parameter (meaning depends on the kernel).
+    bytes: u32,
+}
+
+fn shape(spec: NasSpec) -> Shape {
+    use NasBenchmark::*;
+    use NasClass::*;
+    match (spec.benchmark, spec.class) {
+        // bt.C.16: 271.2 s over 200 iterations, ~2 % communication.
+        (Bt, C) => Shape { iters: 200, compute_ns: 1_345_000_000, bytes: 240 * 1024 },
+        (Bt, B) => Shape { iters: 200, compute_ns: 540_000_000, bytes: 120 * 1024 },
+        // cg.C.16: 90.04 s over 75×25 inner steps.
+        (Cg, C) => Shape { iters: 1_875, compute_ns: 45_200_000, bytes: 300 * 1024 },
+        (Cg, B) => Shape { iters: 1_875, compute_ns: 20_000_000, bytes: 150 * 1024 },
+        // ep.C.16: 31.30 s, one long compute.
+        (Ep, C) => Shape { iters: 1, compute_ns: 31_250_000_000, bytes: 64 },
+        (Ep, B) => Shape { iters: 1, compute_ns: 7_800_000_000, bytes: 64 },
+        // ft.B.16: 24.24 s over 20 transposes.
+        (Ft, B) => Shape { iters: 20, compute_ns: 810_000_000, bytes: 2 * 1024 * 1024 },
+        (Ft, C) => Shape { iters: 20, compute_ns: 4_000_000_000, bytes: 8 * 1024 * 1024 },
+        // is.C.16: 32.75 s over 10 rankings; is.B.16: 21.98 s.
+        (Is, C) => Shape { iters: 10, compute_ns: 2_890_000_000, bytes: 2 * 1024 * 1024 },
+        (Is, B) => Shape { iters: 10, compute_ns: 2_060_000_000, bytes: 512 * 1024 },
+        // lu.C.16: 203.8 s over 250 SSOR iterations.
+        (Lu, C) => Shape { iters: 250, compute_ns: 805_000_000, bytes: 20 * 1024 },
+        (Lu, B) => Shape { iters: 250, compute_ns: 330_000_000, bytes: 10 * 1024 },
+        // mg.C.16: 43.91 s over 20 V-cycles.
+        (Mg, C) => Shape { iters: 20, compute_ns: 2_140_000_000, bytes: 512 * 1024 },
+        (Mg, B) => Shape { iters: 20, compute_ns: 950_000_000, bytes: 128 * 1024 },
+        // sp.C.16: 549.1 s over 400 iterations.
+        (Sp, C) => Shape { iters: 400, compute_ns: 1_362_000_000, bytes: 120 * 1024 },
+        (Sp, B) => Shape { iters: 400, compute_ns: 550_000_000, bytes: 60 * 1024 },
+        // Mini: fast smoke-test shape.
+        (_, Mini) => Shape { iters: 2, compute_ns: 100_000, bytes: 4 * 1024 },
+    }
+}
+
+/// Build the rank program for one benchmark run.
+pub fn nas_program(spec: NasSpec, rank: usize, ranks: usize) -> Vec<Op> {
+    let s = shape(spec);
+    let mut p = ProgramBuilder::new().op(Op::Barrier);
+    let block: Vec<Op> = per_iteration_ops(spec.benchmark, &s, rank, ranks);
+    p = p.repeat(s.iters, &block);
+    p = p.op(Op::Barrier);
+    p.build()
+}
+
+fn per_iteration_ops(benchmark: NasBenchmark, s: &Shape, rank: usize, ranks: usize) -> Vec<Op> {
+    // XOR partners: ^1/^2/^4 are intra-node under block placement, ^8 is
+    // the cross-node partner.
+    let x = |bit: usize| rank ^ bit.min(ranks - 1);
+    match benchmark {
+        NasBenchmark::Is => {
+            let mut sizes = vec![s.bytes; ranks];
+            sizes[rank] = 0;
+            vec![
+                Op::Compute(s.compute_ns),
+                Op::Allreduce { bytes: 4_096 },
+                Op::Alltoall { bytes: 64 },
+                Op::Alltoallv { bytes: sizes },
+            ]
+        }
+        NasBenchmark::Ft => vec![
+            Op::Compute(s.compute_ns),
+            Op::Alltoall { bytes: s.bytes },
+        ],
+        NasBenchmark::Cg => vec![
+            Op::Compute(s.compute_ns),
+            // Reduce stage with the row partner (intra-node under block
+            // placement), transpose with the cross-node partner (the 4x4
+            // process grid keeps ~60 % of CG volume inside a node, so the
+            // cross-node leg carries a reduced share).
+            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 1 },
+            Op::SendRecv { peer: x(8), bytes: s.bytes * 2 / 5, tag: 2 },
+            Op::Allreduce { bytes: 16 },
+            Op::Allreduce { bytes: 16 },
+        ],
+        NasBenchmark::Ep => vec![
+            Op::Compute(s.compute_ns),
+            Op::Allreduce { bytes: s.bytes },
+            Op::Allreduce { bytes: s.bytes },
+            Op::Allreduce { bytes: s.bytes },
+            Op::Barrier,
+        ],
+        NasBenchmark::Lu => vec![
+            Op::Compute(s.compute_ns),
+            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 1 },
+            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 2 },
+            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 3 },
+            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 4 },
+        ],
+        NasBenchmark::Mg => {
+            let mut ops = vec![Op::Compute(s.compute_ns)];
+            // Six levels; neighbour alternates through the dimensions.
+            let mut bytes = s.bytes;
+            for (level, bit) in [8usize, 1, 2, 8, 1, 2].into_iter().enumerate() {
+                ops.push(Op::SendRecv {
+                    peer: x(bit),
+                    bytes: bytes.max(64),
+                    tag: 10 + level as u32,
+                });
+                bytes /= 4;
+            }
+            ops.push(Op::Allreduce { bytes: 8 });
+            ops
+        }
+        NasBenchmark::Bt | NasBenchmark::Sp => vec![
+            Op::Compute(s.compute_ns),
+            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 1 },
+            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 2 },
+            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 3 },
+            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 4 },
+            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 5 },
+            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 6 },
+        ],
+    }
+}
+
+/// The paper's Table IV row set, in order.
+pub fn paper_table_rows() -> Vec<NasSpec> {
+    use NasBenchmark::*;
+    use NasClass::*;
+    vec![
+        NasSpec { benchmark: Bt, class: C },
+        NasSpec { benchmark: Cg, class: C },
+        NasSpec { benchmark: Ep, class: C },
+        NasSpec { benchmark: Ft, class: C }, // reported "not enough memory"
+        NasSpec { benchmark: Ft, class: B },
+        NasSpec { benchmark: Is, class: C },
+        NasSpec { benchmark: Is, class: B },
+        NasSpec { benchmark: Lu, class: C },
+        NasSpec { benchmark: Mg, class: C },
+        NasSpec { benchmark: Sp, class: C },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_notation() {
+        let spec = NasSpec {
+            benchmark: NasBenchmark::Is,
+            class: NasClass::C,
+        };
+        assert_eq!(spec.name(), "is.C.16");
+    }
+
+    #[test]
+    fn ft_c_flagged_unrunnable() {
+        assert!(!NasSpec {
+            benchmark: NasBenchmark::Ft,
+            class: NasClass::C
+        }
+        .is_runnable());
+        assert!(NasSpec {
+            benchmark: NasBenchmark::Ft,
+            class: NasClass::B
+        }
+        .is_runnable());
+    }
+
+    #[test]
+    fn programs_are_spmd_consistent() {
+        // Every rank's program must have the same length and op kinds at
+        // each index (collective lockstep requirement).
+        for benchmark in NasBenchmark::ALL {
+            let spec = NasSpec {
+                benchmark,
+                class: NasClass::Mini,
+            };
+            let progs: Vec<Vec<Op>> = (0..16).map(|r| nas_program(spec, r, 16)).collect();
+            let len = progs[0].len();
+            for (r, p) in progs.iter().enumerate() {
+                assert_eq!(p.len(), len, "{benchmark:?} rank {r} length differs");
+                for (i, op) in p.iter().enumerate() {
+                    assert_eq!(
+                        std::mem::discriminant(op),
+                        std::mem::discriminant(&progs[0][i]),
+                        "{benchmark:?} rank {r} op {i} kind differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sendrecv_partners_are_symmetric() {
+        for benchmark in NasBenchmark::ALL {
+            let spec = NasSpec {
+                benchmark,
+                class: NasClass::Mini,
+            };
+            let progs: Vec<Vec<Op>> = (0..16).map(|r| nas_program(spec, r, 16)).collect();
+            for (r, p) in progs.iter().enumerate() {
+                for (i, op) in p.iter().enumerate() {
+                    if let Op::SendRecv { peer, bytes, tag } = op {
+                        let Op::SendRecv {
+                            peer: back,
+                            bytes: b2,
+                            tag: t2,
+                        } = &progs[*peer][i]
+                        else {
+                            panic!("{benchmark:?}: partner op mismatch");
+                        };
+                        assert_eq!(*back, r, "{benchmark:?} op {i}");
+                        assert_eq!(bytes, b2);
+                        assert_eq!(tag, t2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rows_cover_the_table() {
+        let rows = paper_table_rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows.iter().filter(|r| !r.is_runnable()).count(), 1);
+    }
+
+    #[test]
+    fn traffic_ordering_matches_paper_narrative() {
+        // §IV-D: IS, FT and CG have the highest network traffic. Compare
+        // skeleton per-run inter-node byte estimates.
+        let bytes_of = |benchmark| {
+            let spec = NasSpec {
+                benchmark,
+                class: NasClass::C,
+            };
+            if !spec.is_runnable() {
+                return 0;
+            }
+            let prog = nas_program(spec, 0, 16);
+            prog.iter().map(|op| op.bytes_sent(16)).sum::<u64>()
+        };
+        let is = bytes_of(NasBenchmark::Is);
+        let cg = bytes_of(NasBenchmark::Cg);
+        let ep = bytes_of(NasBenchmark::Ep);
+        let lu = bytes_of(NasBenchmark::Lu);
+        assert!(is > lu, "IS ({is}) must out-traffic LU ({lu})");
+        assert!(cg > lu);
+        assert!(ep < lu / 10, "EP is nearly communication-free");
+    }
+}

@@ -1,0 +1,790 @@
+//! Interrupt coalescing strategies — the paper's contribution.
+//!
+//! The [`Coalescer`] trait exposes exactly the firmware hook points the
+//! paper patches in myri10ge (§III-B: "less than 20 lines of code (in the
+//! main incoming packet processing routine and in the write DMA completion
+//! routine)"):
+//!
+//! * [`Coalescer::on_packet_arrival`] — a frame was received off the wire
+//!   and its descriptor created (the strategy may inspect the marker flag),
+//! * [`Coalescer::on_dma_complete`] — the frame now sits in host memory and
+//!   *could* be processed if the host were interrupted,
+//! * [`Coalescer::on_timer`] — the classic coalescing timeout expired,
+//! * [`Coalescer::on_interrupt`] — an interrupt was actually raised (fold
+//!   state back to idle).
+//!
+//! Each hook returns a [`Decision`]: whether to raise an interrupt now and
+//! what to do with the NIC's single coalescing timer. The surrounding
+//! [`crate::Nic`] enforces the parts that are *hardware*, not strategy:
+//! interrupts are only delivered when the host has them enabled, and only
+//! when there is at least one ready packet to report.
+
+use crate::packet::PacketMeta;
+use omx_sim::{Time, TimeDelta};
+use serde::{Deserialize, Serialize};
+
+/// What to do with the NIC's coalescing timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerAction {
+    /// Leave the timer as it is.
+    Keep,
+    /// (Re-)arm the timer to fire at this absolute time.
+    ArmAt(Time),
+    /// Cancel the timer.
+    Disarm,
+}
+
+/// Outcome of one strategy hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Raise an interrupt now (subject to the hardware gates in [`crate::Nic`]).
+    pub raise: bool,
+    /// Timer manipulation.
+    pub timer: TimerAction,
+}
+
+impl Decision {
+    /// Do nothing.
+    pub const NONE: Decision = Decision {
+        raise: false,
+        timer: TimerAction::Keep,
+    };
+
+    /// Raise an interrupt, leaving the timer alone.
+    pub const RAISE: Decision = Decision {
+        raise: true,
+        timer: TimerAction::Keep,
+    };
+
+    fn arm(at: Time) -> Decision {
+        Decision {
+            raise: false,
+            timer: TimerAction::ArmAt(at),
+        }
+    }
+}
+
+/// A NIC interrupt coalescing strategy (the firmware's decision logic).
+///
+/// Implement this trait to experiment with your own firmware logic; the
+/// built-in strategies cover the paper. A minimal "raise every other
+/// packet" strategy:
+///
+/// ```
+/// use omx_nic::{Coalescer, Decision, PacketMeta};
+/// use omx_sim::Time;
+///
+/// struct EveryOther(bool);
+///
+/// impl Coalescer for EveryOther {
+///     fn name(&self) -> &'static str { "every-other" }
+///     fn on_packet_arrival(&mut self, _: Time, _: &PacketMeta) -> Decision {
+///         Decision::NONE
+///     }
+///     fn on_dma_complete(&mut self, _: Time, _: bool, _: usize, _: u32) -> Decision {
+///         self.0 = !self.0;
+///         if self.0 { Decision::RAISE } else { Decision::NONE }
+///     }
+///     fn on_timer(&mut self, _: Time) -> Decision { Decision::NONE }
+///     fn on_interrupt(&mut self, _: Time) {}
+/// }
+///
+/// let mut s = EveryOther(false);
+/// assert!(s.on_dma_complete(Time::ZERO, false, 0, 1).raise);
+/// assert!(!s.on_dma_complete(Time::ZERO, false, 0, 2).raise);
+/// ```
+pub trait Coalescer: Send {
+    /// Short human-readable name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Hook: a frame arrived off the wire; its descriptor was just created.
+    /// `meta.marked` is the Open-MX latency-sensitive flag.
+    fn on_packet_arrival(&mut self, now: Time, meta: &PacketMeta) -> Decision;
+
+    /// Hook: the write DMA for a descriptor completed. `marked` is the
+    /// descriptor's stored marker; `pending_dmas` counts transfers still in
+    /// flight behind this one; `ready_packets` counts packets already in host
+    /// memory but not yet claimed by the host.
+    fn on_dma_complete(
+        &mut self,
+        now: Time,
+        marked: bool,
+        pending_dmas: usize,
+        ready_packets: u32,
+    ) -> Decision;
+
+    /// Hook: the coalescing timer fired.
+    fn on_timer(&mut self, now: Time) -> Decision;
+
+    /// Notification: an interrupt was raised (by any path).
+    fn on_interrupt(&mut self, now: Time);
+
+    /// The fallback coalescing delay, if the strategy has one. The NIC uses
+    /// it as a safety re-arm: whenever packets sit in host memory unclaimed
+    /// and no timer is pending, an interrupt must still happen within this
+    /// delay (real firmware re-arms its timer per unclaimed event).
+    fn fallback_delay(&self) -> Option<TimeDelta> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled
+// ---------------------------------------------------------------------------
+
+/// Coalescing disabled (ethtool `rx-usecs 0`): every completed packet raises
+/// an interrupt immediately. Best small-message latency, worst host load.
+#[derive(Debug, Default)]
+pub struct DisabledCoalescing;
+
+impl Coalescer for DisabledCoalescing {
+    fn name(&self) -> &'static str {
+        "disabled"
+    }
+
+    fn on_packet_arrival(&mut self, _now: Time, _meta: &PacketMeta) -> Decision {
+        Decision::NONE
+    }
+
+    fn on_dma_complete(
+        &mut self,
+        _now: Time,
+        _marked: bool,
+        _pending: usize,
+        _ready: u32,
+    ) -> Decision {
+        Decision::RAISE
+    }
+
+    fn on_timer(&mut self, _now: Time) -> Decision {
+        Decision::NONE
+    }
+
+    fn on_interrupt(&mut self, _now: Time) {}
+}
+
+// ---------------------------------------------------------------------------
+// Timeout (classic)
+// ---------------------------------------------------------------------------
+
+/// Classic timeout-based coalescing: the interrupt is delayed until `delay`
+/// after the first packet since the last interrupt, or until `max_frames`
+/// packets are ready, whichever comes first. This is the only knob generic
+/// Ethernet hardware exposes (§II-C).
+#[derive(Debug)]
+pub struct TimeoutCoalescing {
+    delay: TimeDelta,
+    max_frames: Option<u32>,
+    timer_armed: bool,
+}
+
+impl TimeoutCoalescing {
+    /// Standard configuration with only a delay (Myri-10G default: 75 µs).
+    pub fn new(delay_us: u64) -> Self {
+        TimeoutCoalescing {
+            delay: TimeDelta::from_micros(delay_us as i64),
+            max_frames: None,
+            timer_armed: false,
+        }
+    }
+
+    /// Configuration with both a delay and a packet-count bound.
+    pub fn with_max_frames(delay_us: u64, max_frames: u32) -> Self {
+        TimeoutCoalescing {
+            delay: TimeDelta::from_micros(delay_us as i64),
+            max_frames: Some(max_frames),
+            timer_armed: false,
+        }
+    }
+}
+
+impl Coalescer for TimeoutCoalescing {
+    fn name(&self) -> &'static str {
+        "timeout"
+    }
+
+    fn on_packet_arrival(&mut self, now: Time, _meta: &PacketMeta) -> Decision {
+        if self.timer_armed {
+            Decision::NONE
+        } else {
+            self.timer_armed = true;
+            Decision::arm(now + self.delay)
+        }
+    }
+
+    fn on_dma_complete(
+        &mut self,
+        _now: Time,
+        _marked: bool,
+        _pending: usize,
+        ready: u32,
+    ) -> Decision {
+        match self.max_frames {
+            Some(max) if ready >= max => Decision::RAISE,
+            _ => Decision::NONE,
+        }
+    }
+
+    fn on_timer(&mut self, _now: Time) -> Decision {
+        self.timer_armed = false;
+        Decision {
+            raise: true,
+            timer: TimerAction::Disarm,
+        }
+    }
+
+    fn on_interrupt(&mut self, _now: Time) {
+        self.timer_armed = false;
+    }
+
+    fn fallback_delay(&self) -> Option<TimeDelta> {
+        Some(self.delay)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-MX coalescing (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// The paper's Algorithm 1. On packet arrival the descriptor inherits the
+/// Open-MX latency-sensitive marker; when the *DMA of a marked descriptor
+/// completes*, the interrupt is raised immediately. Unmarked traffic (IP,
+/// acks, non-final fragments) keeps the classic timeout behaviour, so TCP
+/// flows are unaffected.
+#[derive(Debug)]
+pub struct OpenMxCoalescing {
+    fallback: TimeoutCoalescing,
+}
+
+impl OpenMxCoalescing {
+    /// Create with the fallback timeout used for unmarked packets.
+    pub fn new(delay_us: u64) -> Self {
+        OpenMxCoalescing {
+            fallback: TimeoutCoalescing::new(delay_us),
+        }
+    }
+}
+
+impl Coalescer for OpenMxCoalescing {
+    fn name(&self) -> &'static str {
+        "open-mx"
+    }
+
+    fn on_packet_arrival(&mut self, now: Time, meta: &PacketMeta) -> Decision {
+        // Algorithm 1: "Create packet Descriptor; if Packet is Marked then
+        // Mark packet Descriptor" — the descriptor marking is done by the
+        // Nic; the timer behaviour is the fallback's.
+        self.fallback.on_packet_arrival(now, meta)
+    }
+
+    fn on_dma_complete(
+        &mut self,
+        now: Time,
+        marked: bool,
+        pending: usize,
+        ready: u32,
+    ) -> Decision {
+        // Algorithm 1: "if Descriptor is Marked then Raise Interrupt".
+        if marked {
+            Decision::RAISE
+        } else {
+            self.fallback.on_dma_complete(now, marked, pending, ready)
+        }
+    }
+
+    fn on_timer(&mut self, now: Time) -> Decision {
+        self.fallback.on_timer(now)
+    }
+
+    fn on_interrupt(&mut self, now: Time) {
+        self.fallback.on_interrupt(now);
+    }
+
+    fn fallback_delay(&self) -> Option<TimeDelta> {
+        self.fallback.fallback_delay()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream coalescing (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// The paper's Algorithm 2. Like [`OpenMxCoalescing`], but when a marked
+/// descriptor's DMA completes while *other DMAs are still pending* the
+/// interrupt is **deferred**: the firmware waits for the DMA queue to drain
+/// so a burst of small messages is reported with a single interrupt. The
+/// classic timeout still bounds the deferral for very long streams.
+#[derive(Debug)]
+pub struct StreamCoalescing {
+    fallback: TimeoutCoalescing,
+    deferred: bool,
+}
+
+impl StreamCoalescing {
+    /// Create with the fallback timeout used for unmarked packets.
+    pub fn new(delay_us: u64) -> Self {
+        StreamCoalescing {
+            fallback: TimeoutCoalescing::new(delay_us),
+            deferred: false,
+        }
+    }
+
+    /// Whether an interrupt is currently deferred (visible for tests and
+    /// instrumentation).
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
+    }
+}
+
+impl Coalescer for StreamCoalescing {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn on_packet_arrival(&mut self, now: Time, meta: &PacketMeta) -> Decision {
+        self.fallback.on_packet_arrival(now, meta)
+    }
+
+    fn on_dma_complete(
+        &mut self,
+        now: Time,
+        marked: bool,
+        pending: usize,
+        ready: u32,
+    ) -> Decision {
+        // Algorithm 2, transcribed:
+        //   if no other DMA is pending then
+        //       if Descriptor is Marked or DeferredInterrupt is set then
+        //           Raise Interrupt; Clear DeferredInterrupt
+        //   else if Descriptor is Marked then
+        //       Set DeferredInterrupt
+        if pending == 0 {
+            if marked || self.deferred {
+                self.deferred = false;
+                return Decision::RAISE;
+            }
+            self.fallback.on_dma_complete(now, marked, pending, ready)
+        } else {
+            if marked {
+                self.deferred = true;
+            }
+            self.fallback.on_dma_complete(now, marked, pending, ready)
+        }
+    }
+
+    fn on_timer(&mut self, now: Time) -> Decision {
+        // Algorithm 2: "Raise Interrupt; Clear DeferredInterrupt; Reset
+        // coalescing timeout".
+        self.deferred = false;
+        self.fallback.on_timer(now)
+    }
+
+    fn on_interrupt(&mut self, now: Time) {
+        self.deferred = false;
+        self.fallback.on_interrupt(now);
+    }
+
+    fn fallback_delay(&self) -> Option<TimeDelta> {
+        self.fallback.fallback_delay()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive coalescing (the paper's future-work §VI)
+// ---------------------------------------------------------------------------
+
+/// Adaptive coalescing: the delay is tuned from the recent packet rate, the
+/// way Linux dynamic interrupt moderation works. Low traffic behaves like
+/// disabled coalescing (good latency); high traffic converges to the maximum
+/// delay (good host load). The paper's early tests found this "helps
+/// microbenchmarks but cannot help real applications as well as our firmware
+/// modifications do" — the bench harness reproduces that comparison.
+#[derive(Debug)]
+pub struct AdaptiveCoalescing {
+    /// Delay applied when the rate is at or below `low_pps`.
+    min_delay: TimeDelta,
+    /// Delay applied when the rate is at or above `high_pps`.
+    max_delay: TimeDelta,
+    low_pps: f64,
+    high_pps: f64,
+    /// Rate-sampling window length.
+    window: TimeDelta,
+    window_start: Time,
+    window_packets: u32,
+    /// Delay currently in force (recomputed each window).
+    current_delay: TimeDelta,
+    timer_armed: bool,
+}
+
+impl AdaptiveCoalescing {
+    /// Create with the given delay range (µs) and rate thresholds (packets/s).
+    pub fn new(min_delay_us: u64, max_delay_us: u64, low_pps: f64, high_pps: f64) -> Self {
+        assert!(high_pps > low_pps, "rate thresholds must be ordered");
+        AdaptiveCoalescing {
+            min_delay: TimeDelta::from_micros(min_delay_us as i64),
+            max_delay: TimeDelta::from_micros(max_delay_us as i64),
+            low_pps,
+            high_pps,
+            window: TimeDelta::from_micros(500),
+            window_start: Time::ZERO,
+            window_packets: 0,
+            current_delay: TimeDelta::from_micros(min_delay_us as i64),
+            timer_armed: false,
+        }
+    }
+
+    /// Delay currently in force (for instrumentation).
+    pub fn current_delay(&self) -> TimeDelta {
+        self.current_delay
+    }
+
+    fn roll_window(&mut self, now: Time) {
+        let elapsed = now.saturating_since(self.window_start);
+        if elapsed < self.window {
+            return;
+        }
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.window_packets as f64 / secs
+        } else {
+            0.0
+        };
+        let frac = ((rate - self.low_pps) / (self.high_pps - self.low_pps)).clamp(0.0, 1.0);
+        let min = self.min_delay.as_nanos() as f64;
+        let max = self.max_delay.as_nanos() as f64;
+        self.current_delay = TimeDelta::from_nanos((min + frac * (max - min)) as i64);
+        self.window_start = now;
+        self.window_packets = 0;
+    }
+}
+
+impl Coalescer for AdaptiveCoalescing {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn on_packet_arrival(&mut self, now: Time, _meta: &PacketMeta) -> Decision {
+        self.window_packets += 1;
+        self.roll_window(now);
+        if self.timer_armed {
+            Decision::NONE
+        } else {
+            self.timer_armed = true;
+            Decision::arm(now + self.current_delay)
+        }
+    }
+
+    fn on_dma_complete(
+        &mut self,
+        _now: Time,
+        _marked: bool,
+        _pending: usize,
+        _ready: u32,
+    ) -> Decision {
+        // With a near-zero current delay the timer path raises promptly; the
+        // completion hook itself stays passive, like the timeout strategy.
+        Decision::NONE
+    }
+
+    fn on_timer(&mut self, _now: Time) -> Decision {
+        self.timer_armed = false;
+        Decision {
+            raise: true,
+            timer: TimerAction::Disarm,
+        }
+    }
+
+    fn on_interrupt(&mut self, _now: Time) {
+        self.timer_armed = false;
+    }
+
+    fn fallback_delay(&self) -> Option<TimeDelta> {
+        Some(self.current_delay)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy selector (serde-friendly config)
+// ---------------------------------------------------------------------------
+
+/// Declarative strategy configuration, used by experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoalescingStrategy {
+    /// Interrupt per packet.
+    Disabled,
+    /// Classic timeout (µs).
+    Timeout {
+        /// Coalescing delay in microseconds.
+        delay_us: u64,
+    },
+    /// Paper Algorithm 1 with this fallback delay (µs).
+    OpenMx {
+        /// Fallback coalescing delay for unmarked packets, in microseconds.
+        delay_us: u64,
+    },
+    /// Paper Algorithm 2 with this fallback delay (µs).
+    Stream {
+        /// Fallback coalescing delay for unmarked packets, in microseconds.
+        delay_us: u64,
+    },
+    /// Future-work adaptive strategy.
+    Adaptive {
+        /// Delay at/below the low rate threshold (µs).
+        min_delay_us: u64,
+        /// Delay at/above the high rate threshold (µs).
+        max_delay_us: u64,
+    },
+}
+
+impl CoalescingStrategy {
+    /// The Myri-10G factory default (75 µs timeout), per §IV-B1.
+    pub fn myri10g_default() -> Self {
+        CoalescingStrategy::Timeout { delay_us: 75 }
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn Coalescer> {
+        match self {
+            CoalescingStrategy::Disabled => Box::new(DisabledCoalescing),
+            CoalescingStrategy::Timeout { delay_us } => Box::new(TimeoutCoalescing::new(delay_us)),
+            CoalescingStrategy::OpenMx { delay_us } => Box::new(OpenMxCoalescing::new(delay_us)),
+            CoalescingStrategy::Stream { delay_us } => Box::new(StreamCoalescing::new(delay_us)),
+            CoalescingStrategy::Adaptive {
+                min_delay_us,
+                max_delay_us,
+            } => Box::new(AdaptiveCoalescing::new(
+                min_delay_us,
+                max_delay_us,
+                25_000.0,
+                250_000.0,
+            )),
+        }
+    }
+
+    /// Stable label for result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoalescingStrategy::Disabled => "disabled",
+            CoalescingStrategy::Timeout { .. } => "timeout",
+            CoalescingStrategy::OpenMx { .. } => "open-mx",
+            CoalescingStrategy::Stream { .. } => "stream",
+            CoalescingStrategy::Adaptive { .. } => "adaptive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn omx_marked() -> PacketMeta {
+        PacketMeta::omx(128, true)
+    }
+
+    fn omx_plain() -> PacketMeta {
+        PacketMeta::omx(1500, false)
+    }
+
+    #[test]
+    fn disabled_raises_on_every_completion() {
+        let mut c = DisabledCoalescing;
+        assert_eq!(c.on_packet_arrival(t(0), &omx_plain()), Decision::NONE);
+        assert!(c.on_dma_complete(t(1), false, 3, 1).raise);
+        assert!(c.on_dma_complete(t(2), true, 0, 1).raise);
+    }
+
+    #[test]
+    fn timeout_arms_once_and_raises_on_timer() {
+        let mut c = TimeoutCoalescing::new(75);
+        let d = c.on_packet_arrival(t(0), &omx_plain());
+        assert_eq!(d.timer, TimerAction::ArmAt(t(75)));
+        // Second packet does not re-arm.
+        assert_eq!(c.on_packet_arrival(t(1), &omx_plain()), Decision::NONE);
+        // Completion does not raise (no max_frames).
+        assert!(!c.on_dma_complete(t(2), false, 0, 2).raise);
+        // Timer fires: raise and disarm.
+        let d = c.on_timer(t(75));
+        assert!(d.raise);
+        assert_eq!(d.timer, TimerAction::Disarm);
+        // Next packet re-arms.
+        let d = c.on_packet_arrival(t(80), &omx_plain());
+        assert_eq!(d.timer, TimerAction::ArmAt(t(155)));
+    }
+
+    #[test]
+    fn timeout_interrupt_resets_arming() {
+        let mut c = TimeoutCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_plain());
+        c.on_interrupt(t(10)); // e.g. raised by the max_frames path
+        let d = c.on_packet_arrival(t(20), &omx_plain());
+        assert_eq!(d.timer, TimerAction::ArmAt(t(95)));
+    }
+
+    #[test]
+    fn timeout_max_frames_bound() {
+        let mut c = TimeoutCoalescing::with_max_frames(75, 3);
+        c.on_packet_arrival(t(0), &omx_plain());
+        assert!(!c.on_dma_complete(t(1), false, 0, 1).raise);
+        assert!(!c.on_dma_complete(t(2), false, 0, 2).raise);
+        assert!(c.on_dma_complete(t(3), false, 0, 3).raise);
+    }
+
+    #[test]
+    fn openmx_marked_completion_raises_immediately() {
+        let mut c = OpenMxCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_marked());
+        let d = c.on_dma_complete(t(1), true, 5, 1);
+        assert!(d.raise, "marked descriptor raises regardless of pending DMAs");
+    }
+
+    #[test]
+    fn openmx_unmarked_falls_back_to_timeout() {
+        let mut c = OpenMxCoalescing::new(75);
+        let d = c.on_packet_arrival(t(0), &omx_plain());
+        assert_eq!(d.timer, TimerAction::ArmAt(t(75)));
+        assert!(!c.on_dma_complete(t(1), false, 0, 1).raise);
+        assert!(c.on_timer(t(75)).raise);
+    }
+
+    #[test]
+    fn openmx_ip_traffic_is_unaffected() {
+        // §IV: "IP connections and Open-MX management packets are unaffected".
+        let mut c = OpenMxCoalescing::new(75);
+        c.on_packet_arrival(t(0), &PacketMeta::ip(1500));
+        let d = c.on_dma_complete(t(1), false, 0, 1);
+        assert!(!d.raise);
+    }
+
+    #[test]
+    fn stream_raises_when_queue_empty_and_marked() {
+        let mut c = StreamCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_marked());
+        let d = c.on_dma_complete(t(1), true, 0, 1);
+        assert!(d.raise);
+        assert!(!c.is_deferred());
+    }
+
+    #[test]
+    fn stream_defers_marked_completion_while_dmas_pending() {
+        let mut c = StreamCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_marked());
+        c.on_packet_arrival(t(0), &omx_plain());
+        // Marked completes while another DMA is pending: defer.
+        let d = c.on_dma_complete(t(1), true, 1, 1);
+        assert!(!d.raise);
+        assert!(c.is_deferred());
+        // The trailing unmarked completion drains the queue: deferred fires.
+        let d = c.on_dma_complete(t(2), false, 0, 2);
+        assert!(d.raise);
+        assert!(!c.is_deferred());
+    }
+
+    #[test]
+    fn stream_defer_chains_across_burst() {
+        // A stream of N marked small messages, all DMAs overlapping: only the
+        // last completion raises.
+        let mut c = StreamCoalescing::new(75);
+        for _ in 0..5 {
+            c.on_packet_arrival(t(0), &omx_marked());
+        }
+        for pending in (1..5).rev() {
+            assert!(!c.on_dma_complete(t(1), true, pending, 1).raise);
+        }
+        assert!(c.on_dma_complete(t(2), true, 0, 5).raise);
+    }
+
+    #[test]
+    fn stream_unmarked_drain_without_defer_stays_quiet() {
+        let mut c = StreamCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_plain());
+        let d = c.on_dma_complete(t(1), false, 0, 1);
+        assert!(!d.raise, "unmarked, not deferred: timeout path governs");
+    }
+
+    #[test]
+    fn stream_timer_clears_deferred() {
+        let mut c = StreamCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_marked());
+        c.on_packet_arrival(t(0), &omx_plain());
+        c.on_dma_complete(t(1), true, 1, 1);
+        assert!(c.is_deferred());
+        let d = c.on_timer(t(75));
+        assert!(d.raise);
+        assert!(!c.is_deferred());
+    }
+
+    #[test]
+    fn stream_interrupt_notification_clears_deferred() {
+        let mut c = StreamCoalescing::new(75);
+        c.on_packet_arrival(t(0), &omx_marked());
+        c.on_packet_arrival(t(0), &omx_plain());
+        c.on_dma_complete(t(1), true, 1, 1);
+        c.on_interrupt(t(2));
+        assert!(!c.is_deferred());
+    }
+
+    #[test]
+    fn adaptive_low_rate_uses_min_delay() {
+        let mut c = AdaptiveCoalescing::new(0, 75, 1_000.0, 100_000.0);
+        // Sparse packets: rate stays low, delay stays at min (0 µs) so the
+        // timer fires immediately.
+        let d = c.on_packet_arrival(t(10_000), &omx_plain());
+        assert_eq!(d.timer, TimerAction::ArmAt(t(10_000)));
+    }
+
+    #[test]
+    fn adaptive_high_rate_converges_to_max_delay() {
+        let mut c = AdaptiveCoalescing::new(0, 75, 1_000.0, 100_000.0);
+        // Feed a dense packet train: 1 packet/µs for 2 ms >> high_pps.
+        for i in 0..2_000u64 {
+            let now = Time::from_micros(i);
+            c.on_packet_arrival(now, &omx_plain());
+            c.on_interrupt(now); // keep the timer logic out of the way
+        }
+        assert_eq!(c.current_delay(), TimeDelta::from_micros(75));
+    }
+
+    #[test]
+    fn adaptive_rate_between_thresholds_interpolates() {
+        let mut c = AdaptiveCoalescing::new(0, 100, 0.0, 1_000_000.0);
+        // 500k pps = halfway: expect ~50 µs.
+        for i in 0..1_000u64 {
+            let now = Time::from_nanos(i * 2_000);
+            c.on_packet_arrival(now, &omx_plain());
+            c.on_interrupt(now);
+        }
+        let d = c.current_delay().as_nanos();
+        assert!(
+            (45_000..=55_000).contains(&d),
+            "expected ~50us, got {d}ns"
+        );
+    }
+
+    #[test]
+    fn strategy_enum_builds_and_labels() {
+        for (strategy, label) in [
+            (CoalescingStrategy::Disabled, "disabled"),
+            (CoalescingStrategy::Timeout { delay_us: 75 }, "timeout"),
+            (CoalescingStrategy::OpenMx { delay_us: 75 }, "open-mx"),
+            (CoalescingStrategy::Stream { delay_us: 75 }, "stream"),
+            (
+                CoalescingStrategy::Adaptive {
+                    min_delay_us: 0,
+                    max_delay_us: 75,
+                },
+                "adaptive",
+            ),
+        ] {
+            assert_eq!(strategy.label(), label);
+            assert_eq!(strategy.build().name(), label);
+        }
+        assert_eq!(
+            CoalescingStrategy::myri10g_default(),
+            CoalescingStrategy::Timeout { delay_us: 75 }
+        );
+    }
+}

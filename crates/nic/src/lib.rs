@@ -1,0 +1,46 @@
+//! # omx-nic — simulated Ethernet NIC with message-aware interrupt coalescing
+//!
+//! This crate is the reproduction's analogue of the myri10ge firmware the
+//! paper modifies. It models the receive data path of a commodity Ethernet
+//! NIC:
+//!
+//! ```text
+//!  wire ──► RX ring ──► DMA engine ──► host memory
+//!                │            │
+//!                ▼            ▼
+//!          coalescing heuristics ──► interrupt (MSI) to a host core
+//! ```
+//!
+//! The scientific payload lives in [`coalesce`]: the [`Coalescer`] trait
+//! captures exactly the three firmware hook points the paper patches
+//! (packet arrival, write-DMA completion, coalescing timer), and the five
+//! provided strategies are:
+//!
+//! * [`coalesce::DisabledCoalescing`] — an interrupt per received packet,
+//! * [`coalesce::TimeoutCoalescing`] — classic delay/packet-count coalescing
+//!   (the Myri-10G default is 75 µs),
+//! * [`coalesce::OpenMxCoalescing`] — the paper's Algorithm 1: raise as soon
+//!   as the DMA of a *latency-sensitive-marked* packet completes,
+//! * [`coalesce::StreamCoalescing`] — the paper's Algorithm 2: additionally
+//!   defer the interrupt while other DMAs are pending, so a stream of small
+//!   messages costs a single interrupt,
+//! * [`coalesce::AdaptiveCoalescing`] — the future-work strategy: adjust the
+//!   delay from the recent packet rate (Linux-DIM-style).
+//!
+//! [`Nic`] composes ring, DMA engine and strategy into one passive state
+//! machine driven by the cluster orchestrator.
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod dma;
+pub mod nic;
+pub mod packet;
+
+pub use coalesce::{
+    AdaptiveCoalescing, Coalescer, CoalescingStrategy, Decision, DisabledCoalescing,
+    OpenMxCoalescing, StreamCoalescing, TimeoutCoalescing, TimerAction,
+};
+pub use dma::{DmaConfig, DmaEngine};
+pub use nic::{Nic, NicConfig, NicCounters, NicOutcome, ReadyPacket};
+pub use packet::{DescId, PacketClass, PacketMeta};

@@ -1,0 +1,144 @@
+//! Property tests for the NIC state machine: liveness (no packet ever
+//! strands without an interrupt) and conservation (every accepted packet is
+//! claimed exactly once) for every strategy under arbitrary traffic.
+
+use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta};
+use omx_sim::Time;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Dma(u64),   // DescId
+    Timer(u64), // epoch
+    Enable,
+}
+
+/// Step-simulate one NIC against an arbitrary arrival schedule; the host
+/// services every interrupt after `service_ns`. Returns packets claimed.
+fn drive(
+    strategy: CoalescingStrategy,
+    arrivals: &[(u64, u32, bool)], // (gap_ns, len, marked)
+    service_ns: u64,
+) -> (u64, u64, u64) {
+    struct Sim {
+        nic: Nic,
+        queue: BTreeMap<(u64, u64), Ev>,
+        seq: u64,
+        service_ns: u64,
+        claimed: u64,
+        irqs: u64,
+    }
+
+    impl Sim {
+        fn push(&mut self, t: u64, ev: Ev) {
+            self.queue.insert((t, self.seq), ev);
+            self.seq += 1;
+        }
+
+        fn apply(&mut self, out: NicOutcome, now: u64) {
+            if let Some((desc, at)) = out.dma {
+                self.push(at.as_nanos(), Ev::Dma(desc.0));
+            }
+            if let Some((at, epoch)) = out.arm_timer {
+                self.push(at.as_nanos().max(now), Ev::Timer(epoch));
+            }
+            if out.interrupt {
+                self.irqs += 1;
+                self.claimed += self.nic.drain_ready().len() as u64;
+                self.push(now + self.service_ns, Ev::Enable);
+            }
+        }
+
+        fn step_due(&mut self, horizon: u64) {
+            while let Some((&(t, s), _)) = self.queue.first_key_value() {
+                if t > horizon {
+                    break;
+                }
+                let ev = self.queue.remove(&(t, s)).expect("exists");
+                let out = match ev {
+                    Ev::Dma(d) => self.nic.on_dma_complete(Time::from_nanos(t), DescId(d)),
+                    Ev::Timer(e) => self.nic.on_timer(Time::from_nanos(t), e),
+                    Ev::Enable => self.nic.enable_irq(Time::from_nanos(t)),
+                };
+                self.apply(out, t);
+            }
+        }
+    }
+
+    let mut sim = Sim {
+        nic: Nic::new(NicConfig {
+            rx_ring_slots: 4096,
+            strategy,
+            ..NicConfig::default()
+        }),
+        queue: BTreeMap::new(),
+        seq: 0,
+        service_ns,
+        claimed: 0,
+        irqs: 0,
+    };
+    let mut now = 0u64;
+    let mut accepted = 0u64;
+    for &(gap, len, marked) in arrivals {
+        now += gap;
+        sim.step_due(now);
+        let out = sim
+            .nic
+            .on_frame(Time::from_nanos(now), PacketMeta::omx(len.max(1), marked));
+        if !out.dropped {
+            accepted += 1;
+        }
+        sim.apply(out, now);
+    }
+    sim.step_due(u64::MAX);
+    (accepted, sim.claimed, sim.irqs)
+}
+
+fn strategies() -> Vec<CoalescingStrategy> {
+    vec![
+        CoalescingStrategy::Disabled,
+        CoalescingStrategy::Timeout { delay_us: 75 },
+        CoalescingStrategy::OpenMx { delay_us: 75 },
+        CoalescingStrategy::Stream { delay_us: 75 },
+        CoalescingStrategy::Adaptive {
+            min_delay_us: 0,
+            max_delay_us: 75,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Liveness + conservation: every accepted packet is eventually claimed
+    /// by exactly one interrupt, for any strategy, any arrival pattern, any
+    /// marking, any host service time.
+    #[test]
+    fn every_packet_is_claimed_exactly_once(
+        arrivals in prop::collection::vec((0u64..200_000, 1u32..1500, any::<bool>()), 1..200),
+        service_ns in 100u64..20_000,
+    ) {
+        for strategy in strategies() {
+            let (accepted, claimed, irqs) = drive(strategy, &arrivals, service_ns);
+            prop_assert_eq!(
+                accepted, claimed,
+                "{:?}: {} accepted vs {} claimed", strategy, accepted, claimed
+            );
+            prop_assert!(irqs >= 1);
+        }
+    }
+
+    /// Disabled coalescing raises at least one interrupt per packet batch
+    /// boundary and never fewer interrupts than any coalescing strategy.
+    #[test]
+    fn disabled_raises_the_most_interrupts(
+        arrivals in prop::collection::vec((100u64..10_000, 1u32..1500, any::<bool>()), 5..100),
+    ) {
+        let (_, _, disabled) = drive(CoalescingStrategy::Disabled, &arrivals, 1_000);
+        let (_, _, timeout) = drive(CoalescingStrategy::Timeout { delay_us: 75 }, &arrivals, 1_000);
+        let (_, _, stream) = drive(CoalescingStrategy::Stream { delay_us: 75 }, &arrivals, 1_000);
+        prop_assert!(disabled >= timeout, "disabled {disabled} < timeout {timeout}");
+        prop_assert!(disabled >= stream, "disabled {disabled} < stream {stream}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # omx-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the foundation of the Open-MX interrupt-coalescing
+//! reproduction. It provides:
+//!
+//! * [`Time`] — a nanosecond-resolution simulated clock value,
+//! * [`EventQueue`] — a priority queue of timestamped events with stable
+//!   FIFO ordering among simultaneous events and O(log n) cancellation,
+//! * [`Engine`] / [`Model`] — the simulation driver: a model consumes one
+//!   event at a time and schedules follow-up events through a [`Scheduler`],
+//! * [`rng`] — seeded deterministic random-number helpers so that every
+//!   experiment is exactly reproducible,
+//! * [`stats`] — counters, histograms and online summary statistics used by
+//!   the measurement harness.
+//!
+//! The engine is intentionally single-threaded: determinism is a hard
+//! requirement for the paper reproduction (identical seeds must produce
+//! identical interrupt counts). Parallelism lives one level up, in the
+//! experiment harness, which runs many independent simulations at once.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Model, Scheduler, StopCondition};
+pub use queue::{EventQueue, EventToken};
+pub use time::{Time, TimeDelta};

@@ -1,0 +1,246 @@
+//! Timestamped event queue with stable ordering and cancellation.
+//!
+//! The queue orders events by `(time, sequence)`: events scheduled for the
+//! same instant pop in the order they were pushed, which keeps the whole
+//! simulation deterministic regardless of heap internals.
+//!
+//! Cancellation uses lazy deletion: [`EventQueue::cancel`] removes the token
+//! from the pending set and the heap entry is discarded when it reaches the
+//! top. This is O(1) per cancellation and keeps pop at amortised O(log n),
+//! which matters because coalescing timers are re-armed (cancel + push) on
+//! almost every received packet.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers of events that are scheduled and not cancelled.
+    pending: HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: HashSet::new(),
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            pending: HashSet::with_capacity(cap),
+        }
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `time`; returns a cancellation token.
+    pub fn push(&mut self, time: Time, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now dead),
+    /// `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.pending.remove(&token.0)
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest live event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.skim_cancelled();
+        self.heap.pop().map(|e| {
+            self.pending.remove(&e.seq);
+            (e.time, e.event)
+        })
+    }
+
+    /// Drop cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Remove all events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), "dead");
+        q.push(t(20), "live");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), "live")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), ());
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), "dead");
+        q.push(t(25), "live");
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(t(25)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 1);
+        let tok = q.push(t(2), 2);
+        q.cancel(tok);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_cancel_is_consistent() {
+        let mut q = EventQueue::new();
+        let mut toks = Vec::new();
+        for i in 0..50u64 {
+            toks.push(q.push(t(i * 10), i));
+        }
+        // Cancel every third event.
+        for (i, tok) in toks.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*tok));
+            }
+        }
+        let mut seen = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            seen.push(v);
+        }
+        let expect: Vec<u64> = (0..50).filter(|i| i % 3 != 0).collect();
+        assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,403 @@
+//! Measurement primitives used across the reproduction harness.
+//!
+//! * [`Counter`] — monotonically increasing event counts (interrupts raised,
+//!   packets received, cache bounces, …),
+//! * [`OnlineStats`] — streaming mean/variance/min/max (Welford),
+//! * [`Histogram`] — log-bucketed latency histogram with quantile queries,
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant gauge
+//!   (e.g. pending-DMA depth, core sleep occupancy).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// New zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming mean / variance / extremes (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (unbiased; 0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram of nanosecond values with quantile queries.
+///
+/// Buckets grow geometrically (~7 % relative width) from 1 ns to ~10 minutes,
+/// giving quantile error below 4 % — plenty for latency distributions — with
+/// a fixed 364-slot footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    overflow: u64,
+}
+
+const BUCKETS_PER_DECADE: usize = 32;
+const DECADES: usize = 12; // 1 ns .. 10^12 ns (~17 min)
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            overflow: 0,
+        }
+    }
+
+    fn bucket_index(value_ns: u64) -> usize {
+        if value_ns <= 1 {
+            return 0;
+        }
+        let idx = ((value_ns as f64).log10() * BUCKETS_PER_DECADE as f64) as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        10f64.powf((idx as f64 + 0.5) / BUCKETS_PER_DECADE as f64) as u64
+    }
+
+    /// Record one nanosecond value.
+    pub fn record(&mut self, value_ns: u64) {
+        let idx = Self::bucket_index(value_ns);
+        if idx >= NUM_BUCKETS {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+        self.count += 1;
+        self.sum += value_ns as f64;
+    }
+
+    /// Record a [`crate::TimeDelta`]-style value given as nanoseconds.
+    pub fn record_time(&mut self, t: Time) {
+        self.record(t.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in nanoseconds.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * (self.count - 1) as f64) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return Some(Self::bucket_value(idx));
+            }
+        }
+        Some(Self::bucket_value(NUM_BUCKETS - 1))
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.overflow += other.overflow;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant gauge.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: Time,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// New gauge starting at `value` at time `start`.
+    pub fn new(start: Time, value: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Record that the gauge changed to `value` at time `now`.
+    pub fn set(&mut self, now: Time, value: f64) {
+        let dt = now.saturating_since(self.last_time).as_nanos() as f64;
+        self.weighted_sum += self.last_value * dt;
+        self.total_time += dt;
+        self.last_time = now;
+        self.last_value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Current gauge value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Largest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean up to `now`.
+    pub fn mean_at(&self, now: Time) -> f64 {
+        let dt = now.saturating_since(self.last_time).as_nanos() as f64;
+        let total = self.total_time + dt;
+        if total == 0.0 {
+            self.last_value
+        } else {
+            (self.weighted_sum + self.last_value * dt) / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic set is 4 => sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..41] {
+            left.record(x);
+        }
+        for &x in &xs[41..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let med = h.median().unwrap() as f64;
+        assert!(
+            (med - 5_000.0).abs() / 5_000.0 < 0.08,
+            "median {med} too far from 5000"
+        );
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99 {p99}");
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_merge() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [10u64, 20, 30] {
+            a.record(v);
+        }
+        for v in [40u64, 50] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert!((a.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut g = TimeWeighted::new(Time::ZERO, 0.0);
+        g.set(Time::from_nanos(100), 10.0); // value 0 for 100 ns
+        g.set(Time::from_nanos(300), 0.0); // value 10 for 200 ns
+        // At t=400: value 0 for another 100 ns. Mean = (0*100+10*200+0*100)/400 = 5.
+        assert!((g.mean_at(Time::from_nanos(400)) - 5.0).abs() < 1e-12);
+        assert_eq!(g.peak(), 10.0);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_no_elapsed_time() {
+        let g = TimeWeighted::new(Time::from_nanos(5), 3.0);
+        assert_eq!(g.mean_at(Time::from_nanos(5)), 3.0);
+    }
+}

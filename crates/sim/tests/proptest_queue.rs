@@ -1,0 +1,77 @@
+//! Property tests for the event queue: ordering, FIFO ties, cancellation.
+
+use omx_sim::{EventQueue, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, with FIFO order among
+    /// equal timestamps, regardless of push order.
+    #[test]
+    fn pop_order_is_time_then_fifo(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0;
+        while let Some((at, (t, i))) = q.pop() {
+            popped += 1;
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated: ({lt},{li}) then ({t},{i})");
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelled events never pop; everything else always pops exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..500, 1..200),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.push(Time::from_nanos(t), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, tok) in &tokens {
+            if *cancel_mask.get(*i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*tok), "first cancel must succeed");
+                prop_assert!(!q.cancel(*tok), "second cancel must fail");
+                cancelled.insert(*i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "cancelled event {i} popped");
+            prop_assert!(seen.insert(i), "event {i} popped twice");
+        }
+        prop_assert_eq!(seen.len(), times.len() - cancelled.len());
+    }
+
+    /// Interleaved push/pop keeps the min-heap property observable: any pop
+    /// returns a time ≥ the previous pop.
+    #[test]
+    fn interleaved_operations_stay_ordered(ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..300)) {
+        let mut q = EventQueue::new();
+        let mut last_popped = 0u64;
+        let mut clock = 0u64; // scheduling must be >= last pop for realism
+        for (t, do_pop) in ops {
+            if do_pop {
+                if let Some((at, ())) = q.pop() {
+                    prop_assert!(at.as_nanos() >= last_popped);
+                    last_popped = at.as_nanos();
+                }
+            } else {
+                let at = clock + t; // non-decreasing baseline
+                q.push(Time::from_nanos(at.max(last_popped)), ());
+                clock = clock.max(at / 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Packet mis-ordering on a disturbed fabric (Table III's scenario).
+//!
+//! Moves the latency-sensitive mark of a 32 KiB medium message away from
+//! the last fragment (the way the paper emulated mis-ordering) and adds
+//! fabric jitter, then compares how the Open-MX and Stream strategies cope:
+//! Stream's deferred interrupt re-merges the displaced fragments when the
+//! timing allows, recovering part of the penalty.
+//!
+//! Run with: `cargo run --release --example misordered_fabric`
+
+use openmx_repro::core::marking::MarkingPolicy;
+use openmx_repro::core::workloads::transfer::TransferSpec;
+use openmx_repro::fabric::DisturbanceConfig;
+use openmx_repro::prelude::*;
+
+fn main() {
+    println!("32 KiB medium messages (23 fragments) with a displaced mark + fabric jitter\n");
+    println!(
+        "{:<10} {:>8} {:>15} {:>12}",
+        "strategy", "degree", "transfer (us)", "rx irq/msg"
+    );
+
+    for (name, strategy) in [
+        ("open-mx", CoalescingStrategy::OpenMx { delay_us: 75 }),
+        ("stream", CoalescingStrategy::Stream { delay_us: 75 }),
+    ] {
+        for degree in [0u32, 1, 3] {
+            let marking = MarkingPolicy {
+                medium_mark_displacement: degree,
+                ..MarkingPolicy::all()
+            };
+            let mut cluster = ClusterBuilder::new()
+                .nodes(2)
+                .strategy(strategy)
+                .marking(marking)
+                .disturbance(DisturbanceConfig {
+                    jitter_ns: 400,
+                    ..DisturbanceConfig::none()
+                })
+                .build();
+            let repeats = 120;
+            let report = cluster.run_transfer(TransferSpec {
+                msg_len: 32 * 1024,
+                repeats,
+                gap_ns: 300_000,
+            });
+            let rx_irqs = cluster.metrics().nodes[1].nic.interrupts.get();
+            println!(
+                "{:<10} {:>8} {:>15.0} {:>12.2}",
+                name,
+                degree,
+                report.transfer_ns / 1e3,
+                rx_irqs as f64 / f64::from(repeats),
+            );
+        }
+    }
+
+    println!(
+        "\nPaper (Table III): mis-ordering costs Open-MX ~21 us; Stream recovers \
+         part of it (~6 us at degree 1) because the deferred interrupt waits for \
+         the trailing fragments when they arrive within the DMA window."
+    );
+}

@@ -1,0 +1,7 @@
+set xlabel 'Interrupt coalescing (microseconds)'
+set ylabel 'Messages received / second'
+set key bottom right
+plot 'fig4.dat' index 0 w lp t 'single core, no sleep', \
+'' index 1 w lp t 'single core, sleep possible', \
+'' index 2 w lp t 'all cores, sleep possible (default)'
+pause -1

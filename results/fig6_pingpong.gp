@@ -1,0 +1,6 @@
+set logscale x 2
+set xlabel 'Message size (bytes)'
+set ylabel 'Normalized Transfer Time'
+set key top right
+plot for [i=0:38] 'fig6_pingpong.dat' index i w lp t columnheader(1)
+pause -1
