@@ -1,45 +1,31 @@
-//! Criterion micro-benchmarks of the simulation engine itself — the
-//! substrate's event throughput bounds how big an experiment the harness
-//! can run, so regressions here matter.
+//! Micro-benchmarks of the simulation engine itself — the substrate's event
+//! throughput bounds how big an experiment the harness can run, so
+//! regressions here matter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use omx_bench::timing::bench;
 use omx_sim::{Engine, EventQueue, Model, Scheduler, Time};
 
-fn event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.throughput(Throughput::Elements(10_000));
-
-    group.bench_function("push_pop_10k_fifo", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.push(Time::from_nanos(i), i);
-                }
-                while q.pop().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        )
+fn event_queue() {
+    bench("event_queue", "push_pop_10k_fifo", 3, 20, || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..10_000u64 {
+            q.push(Time::from_nanos(i), i);
+        }
+        while q.pop().is_some() {}
+        q
     });
 
-    group.bench_function("push_cancel_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                let tokens: Vec<_> = (0..10_000u64)
-                    .map(|i| q.push(Time::from_nanos(i % 512), i))
-                    .collect();
-                for t in tokens.iter().step_by(2) {
-                    q.cancel(*t);
-                }
-                while q.pop().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        )
+    bench("event_queue", "push_cancel_pop_10k", 3, 20, || {
+        let mut q = EventQueue::<u64>::new();
+        let tokens: Vec<_> = (0..10_000u64)
+            .map(|i| q.push(Time::from_nanos(i % 512), i))
+            .collect();
+        for t in tokens.iter().step_by(2) {
+            q.cancel(*t);
+        }
+        while q.pop().is_some() {}
+        q
     });
-    group.finish();
 }
 
 struct Chain {
@@ -56,19 +42,16 @@ impl Model for Chain {
     }
 }
 
-fn engine_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("dispatch_100k_chained_events", |b| {
-        b.iter(|| {
-            let mut eng = Engine::new(Chain { remaining: 100_000 });
-            eng.prime(Time::ZERO, ());
-            eng.run(Time::MAX, u64::MAX);
-            eng.events_processed()
-        })
+fn engine_dispatch() {
+    bench("engine", "dispatch_100k_chained_events", 1, 10, || {
+        let mut eng = Engine::new(Chain { remaining: 100_000 });
+        eng.prime(Time::ZERO, ());
+        eng.run(Time::MAX, u64::MAX);
+        eng.events_processed()
     });
-    group.finish();
 }
 
-criterion_group!(benches, event_queue, engine_dispatch);
-criterion_main!(benches);
+fn main() {
+    event_queue();
+    engine_dispatch();
+}

@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the Open-MX protocol hot paths: wire
-//! encode/decode, the match engine, and the coalescing decision hooks.
+//! Micro-benchmarks of the Open-MX protocol hot paths: wire encode/decode,
+//! the match engine, and the coalescing decision hooks.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use omx_bench::timing::bench;
 use omx_core::matching::{MatchEngine, PostedRecv, UnexpectedMsg};
 use omx_core::wire::{EndpointAddr, MsgId, OmxHeader, Packet, PacketKind};
 use omx_nic::{Coalescer, PacketMeta, StreamCoalescing, TimeoutCoalescing};
@@ -27,91 +29,70 @@ fn sample_packet() -> Packet {
     }
 }
 
-fn wire_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
-    group.throughput(Throughput::Elements(1));
+fn wire_codec() {
     let pkt = sample_packet();
-    group.bench_function("encode", |b| b.iter(|| pkt.encode()));
+    bench("wire", "encode", 100, 10_000, || pkt.encode());
     let bytes = pkt.encode();
-    group.bench_function("decode", |b| {
-        b.iter(|| Packet::decode(bytes.clone()).expect("valid"))
+    bench("wire", "decode", 100, 10_000, || {
+        Packet::decode(bytes.clone()).expect("valid")
     });
-    group.finish();
 }
 
-fn matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("post_and_match_1k_exact", |b| {
-        b.iter_batched(
-            MatchEngine::new,
-            |mut m| {
-                for i in 0..1_000u64 {
-                    m.post_recv(PostedRecv {
-                        handle: i,
-                        match_value: i,
-                        match_mask: !0,
-                    });
-                }
-                for i in 0..1_000u64 {
-                    let hit = m.incoming(UnexpectedMsg {
-                        src: EndpointAddr::new(0, 0),
-                        msg: MsgId(i),
-                        match_info: i,
-                        len: 64,
-                    });
-                    assert!(hit.is_some());
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
+fn matching() {
+    bench("matching", "post_and_match_1k_exact", 3, 50, || {
+        let mut m = MatchEngine::new();
+        for i in 0..1_000u64 {
+            m.post_recv(PostedRecv {
+                handle: i,
+                match_value: i,
+                match_mask: !0,
+            });
+        }
+        for i in 0..1_000u64 {
+            let hit = m.incoming(UnexpectedMsg {
+                src: EndpointAddr::new(0, 0),
+                msg: MsgId(i),
+                match_info: i,
+                len: 64,
+            });
+            assert!(hit.is_some());
+        }
+        m
     });
-    group.finish();
 }
 
-fn coalescer_hooks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coalescer");
-    group.throughput(Throughput::Elements(10_000));
+fn coalescer_hooks() {
     let meta = PacketMeta::omx(1500, true);
 
-    group.bench_function("timeout_10k_packets", |b| {
-        b.iter_batched(
-            || TimeoutCoalescing::new(75),
-            |mut s| {
-                let mut raises = 0u64;
-                for i in 0..10_000u64 {
-                    let t = Time::from_nanos(i * 1_200);
-                    let a = s.on_packet_arrival(t, &meta);
-                    let b = s.on_dma_complete(t, false, 0, 1);
-                    raises += u64::from(a.raise) + u64::from(b.raise);
-                }
-                black_box(raises);
-                s
-            },
-            BatchSize::SmallInput,
-        )
+    bench("coalescer", "timeout_10k_packets", 3, 50, || {
+        let mut s = TimeoutCoalescing::new(75);
+        let mut raises = 0u64;
+        for i in 0..10_000u64 {
+            let t = Time::from_nanos(i * 1_200);
+            let a = s.on_packet_arrival(t, &meta);
+            let b = s.on_dma_complete(t, false, 0, 1);
+            raises += u64::from(a.raise) + u64::from(b.raise);
+        }
+        black_box(raises);
+        s
     });
 
-    group.bench_function("stream_10k_packets", |b| {
-        b.iter_batched(
-            || StreamCoalescing::new(75),
-            |mut s| {
-                for i in 0..10_000u64 {
-                    let t = Time::from_nanos(i * 1_200);
-                    s.on_packet_arrival(t, &meta);
-                    let d = s.on_dma_complete(t, true, (i % 3) as usize, 1);
-                    if d.raise {
-                        s.on_interrupt(t);
-                    }
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
+    bench("coalescer", "stream_10k_packets", 3, 50, || {
+        let mut s = StreamCoalescing::new(75);
+        for i in 0..10_000u64 {
+            let t = Time::from_nanos(i * 1_200);
+            s.on_packet_arrival(t, &meta);
+            let d = s.on_dma_complete(t, true, (i % 3) as usize, 1);
+            if d.raise {
+                s.on_interrupt(t);
+            }
+        }
+        s
     });
-    group.finish();
 }
 
-criterion_group!(benches, wire_codec, matching, coalescer_hooks);
-criterion_main!(benches);
+fn main() {
+    wire_codec();
+    matching();
+    coalescer_hooks();
+}

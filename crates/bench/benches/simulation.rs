@@ -1,69 +1,57 @@
-//! Criterion end-to-end benchmarks: how fast the simulator reproduces each
-//! class of paper experiment (wall-clock per simulated workload). One bench
-//! per experiment family keeps the harness cost visible in CI.
+//! End-to-end benchmarks: how fast the simulator reproduces each class of
+//! paper experiment (wall-clock per simulated workload). One bench per
+//! experiment family keeps the harness cost visible in CI.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use omx_bench::timing::bench;
 use omx_core::prelude::*;
 
-fn pingpong_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate");
-    group.sample_size(10);
-    group.bench_function("pingpong_128B_50iters_openmx", |b| {
-        b.iter(|| {
-            ClusterBuilder::new()
-                .nodes(2)
-                .strategy(CoalescingStrategy::OpenMx { delay_us: 75 })
-                .build()
-                .run_pingpong(PingPongSpec {
-                    msg_len: 128,
-                    iterations: 50,
-                    warmup: 5,
-                })
-        })
+fn pingpong_sim() {
+    bench("simulate", "pingpong_128B_50iters_openmx", 1, 10, || {
+        ClusterBuilder::new()
+            .nodes(2)
+            .strategy(CoalescingStrategy::OpenMx { delay_us: 75 })
+            .build()
+            .run_pingpong(PingPongSpec {
+                msg_len: 128,
+                iterations: 50,
+                warmup: 5,
+            })
     });
-    group.bench_function("stream_128B_1000msgs_disabled", |b| {
-        b.iter(|| {
-            ClusterBuilder::new()
-                .nodes(2)
-                .strategy(CoalescingStrategy::Disabled)
-                .build()
-                .run_stream(StreamSpec {
-                    msg_len: 128,
-                    messages: 1_000,
-                    window: 32,
-                })
-        })
+    bench("simulate", "stream_128B_1000msgs_disabled", 1, 10, || {
+        ClusterBuilder::new()
+            .nodes(2)
+            .strategy(CoalescingStrategy::Disabled)
+            .build()
+            .run_stream(StreamSpec {
+                msg_len: 128,
+                messages: 1_000,
+                window: 32,
+            })
     });
-    group.bench_function("transfer_234KiB_10x_timeout75", |b| {
-        b.iter(|| {
-            ClusterBuilder::new()
-                .nodes(2)
-                .strategy(CoalescingStrategy::Timeout { delay_us: 75 })
-                .build()
-                .run_transfer(omx_core::workloads::transfer::TransferSpec {
-                    msg_len: 234 * 1024,
-                    repeats: 10,
-                    gap_ns: 400_000,
-                })
-        })
+    bench("simulate", "transfer_234KiB_10x_timeout75", 1, 10, || {
+        ClusterBuilder::new()
+            .nodes(2)
+            .strategy(CoalescingStrategy::Timeout { delay_us: 75 })
+            .build()
+            .run_transfer(omx_core::workloads::transfer::TransferSpec {
+                msg_len: 234 * 1024,
+                repeats: 10,
+                gap_ns: 400_000,
+            })
     });
-    group.finish();
 }
 
-fn nas_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_nas");
-    group.sample_size(10);
-    group.bench_function("nas_is_mini_default", |b| {
-        b.iter(|| {
-            let spec = omx_nas::NasSpec {
-                benchmark: omx_nas::NasBenchmark::Is,
-                class: omx_nas::NasClass::Mini,
-            };
-            omx_nas::run_nas(spec, omx_core::system::ClusterConfig::default()).expect("runnable")
-        })
+fn nas_sim() {
+    bench("simulate_nas", "nas_is_mini_default", 1, 10, || {
+        let spec = omx_nas::NasSpec {
+            benchmark: omx_nas::NasBenchmark::Is,
+            class: omx_nas::NasClass::Mini,
+        };
+        omx_nas::run_nas(spec, omx_core::system::ClusterConfig::default()).expect("runnable")
     });
-    group.finish();
 }
 
-criterion_group!(benches, pingpong_sim, nas_sim);
-criterion_main!(benches);
+fn main() {
+    pingpong_sim();
+    nas_sim();
+}

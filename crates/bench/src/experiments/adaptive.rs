@@ -10,10 +10,9 @@ use crate::report::Table;
 use omx_core::prelude::*;
 use omx_core::system::ClusterConfig;
 use omx_nas::{run_nas, NasBenchmark, NasClass, NasSpec};
-use serde::{Deserialize, Serialize};
 
 /// One comparison row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveRow {
     /// Workload label.
     pub workload: String,
@@ -24,7 +23,7 @@ pub struct AdaptiveRow {
 }
 
 /// Full comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveResult {
     /// All rows.
     pub rows: Vec<AdaptiveRow>,
@@ -125,3 +124,10 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(AdaptiveRow {
+    workload,
+    strategy,
+    value
+});
+omx_sim::impl_to_json!(AdaptiveResult { rows });

@@ -14,11 +14,10 @@ use crate::report::Table;
 use omx_core::prelude::*;
 use omx_core::system::{Actor, ActorCtx};
 use omx_core::wire::NodeId;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Result of the coexistence check.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoexistenceResult {
     /// Interrupts for a pure IP stream under timeout coalescing.
     pub ip_only_timeout_irqs: u64,
@@ -178,3 +177,11 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(CoexistenceResult {
+    ip_only_timeout_irqs,
+    ip_only_openmx_irqs,
+    mixed_openmx_irqs,
+    mixed_half_rtt_ns,
+    mixed_half_rtt_timeout_ns,
+});

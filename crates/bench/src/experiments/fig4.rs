@@ -10,10 +10,9 @@ use super::parallel_map;
 use crate::report::Table;
 use omx_core::prelude::*;
 use omx_host::IrqRouting;
-use serde::{Deserialize, Serialize};
 
 /// One measured point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Point {
     /// Host configuration label.
     pub config: String,
@@ -28,7 +27,7 @@ pub struct Fig4Point {
 }
 
 /// Full Figure 4 dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4Result {
     /// All sweep points.
     pub points: Vec<Fig4Point>,
@@ -37,9 +36,17 @@ pub struct Fig4Result {
 /// Host configurations of the figure's three curves.
 fn configs() -> Vec<(&'static str, IrqRouting, bool)> {
     vec![
-        ("single-core, sleeping disabled", IrqRouting::Fixed(1), false),
+        (
+            "single-core, sleeping disabled",
+            IrqRouting::Fixed(1),
+            false,
+        ),
         ("single-core, sleeping possible", IrqRouting::Fixed(1), true),
-        ("all-cores, sleeping possible (default)", IrqRouting::RoundRobin, true),
+        (
+            "all-cores, sleeping possible (default)",
+            IrqRouting::RoundRobin,
+            true,
+        ),
     ]
 }
 
@@ -122,3 +129,12 @@ mod tests {
         assert!(nosleep_0 > default_0, "{nosleep_0} vs {default_0}");
     }
 }
+
+omx_sim::impl_to_json!(Fig4Point {
+    config,
+    delay_us,
+    msgs_per_sec,
+    interrupts_per_msg,
+    wakeups,
+});
+omx_sim::impl_to_json!(Fig4Result { points });

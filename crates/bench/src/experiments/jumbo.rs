@@ -8,10 +8,9 @@
 use super::parallel_map;
 use crate::report::Table;
 use omx_core::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One (mtu, size, strategy) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JumboCell {
     /// Fabric MTU.
     pub mtu: u32,
@@ -24,7 +23,7 @@ pub struct JumboCell {
 }
 
 /// Full result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JumboResult {
     /// All cells.
     pub cells: Vec<JumboCell>,
@@ -41,7 +40,12 @@ pub fn run(iterations: u32) -> JumboResult {
     // MTU 1500 plays the role 192 KiB plays at MTU 9000 (≈ same 23 frames).
     let mut jobs = Vec::new();
     for &(label, strategy) in &strategies {
-        for &(mtu, len) in &[(1_500u32, 64u32), (9_000, 64), (1_500, 32 << 10), (9_000, 192 << 10)] {
+        for &(mtu, len) in &[
+            (1_500u32, 64u32),
+            (9_000, 64),
+            (1_500, 32 << 10),
+            (9_000, 192 << 10),
+        ] {
             jobs.push((label, strategy, mtu, len));
         }
     }
@@ -120,3 +124,11 @@ mod tests {
         assert!(jumbo > 1.05, "same direction with jumbo frames ({jumbo})");
     }
 }
+
+omx_sim::impl_to_json!(JumboCell {
+    mtu,
+    msg_len,
+    strategy,
+    half_rtt_ns
+});
+omx_sim::impl_to_json!(JumboResult { cells });

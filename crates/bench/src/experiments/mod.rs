@@ -38,21 +38,21 @@ where
     let n = inputs.len();
     let mut out: Vec<Option<O>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let out = parking_lot::Mutex::new(out);
-    let jobs = parking_lot::Mutex::new(inputs.into_iter().enumerate().collect::<Vec<_>>());
-    crossbeam::scope(|scope| {
+    let out = std::sync::Mutex::new(out);
+    let jobs = std::sync::Mutex::new(inputs.into_iter().enumerate().collect::<Vec<_>>());
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let Some((idx, input)) = jobs.lock().pop() else {
+            scope.spawn(|| loop {
+                let Some((idx, input)) = jobs.lock().expect("jobs lock").pop() else {
                     break;
                 };
                 let result = f(input);
-                out.lock()[idx] = Some(result);
+                out.lock().expect("out lock")[idx] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_inner()
+        .expect("out lock")
         .into_iter()
         .map(|o| o.expect("all jobs ran"))
         .collect()

@@ -13,13 +13,12 @@ use omx_core::prelude::*;
 use omx_core::system::{Actor, ActorCtx, RecvCompletion};
 use omx_core::wire::EndpointAddr;
 use omx_host::IrqRouting;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One routing policy's measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiqueueRow {
     /// Routing label.
     pub routing: String,
@@ -32,7 +31,7 @@ pub struct MultiqueueRow {
 }
 
 /// Full comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiqueueResult {
     /// One row per routing policy.
     pub rows: Vec<MultiqueueRow>,
@@ -186,3 +185,11 @@ mod tests {
         assert!(mq.elapsed_ns <= rr.elapsed_ns * 5 / 4);
     }
 }
+
+omx_sim::impl_to_json!(MultiqueueRow {
+    routing,
+    elapsed_ns,
+    rx_cache_bounces,
+    rx_interrupts,
+});
+omx_sim::impl_to_json!(MultiqueueResult { rows });

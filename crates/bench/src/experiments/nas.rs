@@ -5,14 +5,13 @@
 //! Table V: total interrupt counts for IS (disabled ≈ 22× the default;
 //! Open-MX / Stream ≈ +16–21 %).
 
-use super::{parallel_map, paper_strategies};
+use super::{paper_strategies, parallel_map};
 use crate::report::Table;
 use omx_core::system::ClusterConfig;
 use omx_nas::{run_nas, NasSpec};
-use serde::{Deserialize, Serialize};
 
 /// One benchmark × strategy measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NasCell {
     /// Benchmark name (`is.C.16` style).
     pub name: String,
@@ -27,7 +26,7 @@ pub struct NasCell {
 }
 
 /// Full Tables IV & V dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NasResult {
     /// All cells.
     pub cells: Vec<NasCell>,
@@ -83,7 +82,10 @@ pub fn table_iv(result: &NasResult) -> Table {
     for name in names {
         let default = cell(result, &name, "default").and_then(|c| c.seconds);
         let fmt = |strategy: &str| -> String {
-            match (cell(result, &name, strategy).and_then(|c| c.seconds), default) {
+            match (
+                cell(result, &name, strategy).and_then(|c| c.seconds),
+                default,
+            ) {
                 (None, _) => "OOM".to_string(),
                 (Some(s), Some(d)) if strategy != "default" => {
                     let speedup = (d - s) / d * 100.0;
@@ -169,3 +171,12 @@ mod tests {
         assert!(irqs("open-mx") < irqs("disabled") / 5);
     }
 }
+
+omx_sim::impl_to_json!(NasCell {
+    name,
+    strategy,
+    seconds,
+    interrupts,
+    stolen_s
+});
+omx_sim::impl_to_json!(NasResult { cells });

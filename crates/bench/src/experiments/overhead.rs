@@ -9,10 +9,9 @@ use crate::report::Table;
 use omx_core::prelude::*;
 use omx_core::workloads::overhead::{OverheadReport, OverheadSpec};
 use omx_host::IrqRouting;
-use serde::{Deserialize, Serialize};
 
 /// One configuration's measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Configuration label.
     pub config: String,
@@ -25,7 +24,7 @@ pub struct OverheadRow {
 }
 
 /// Full experiment result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadResult {
     /// All rows.
     pub rows: Vec<OverheadRow>,
@@ -124,3 +123,15 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(OverheadRow {
+    config,
+    per_packet_ns,
+    interrupts,
+    packets
+});
+omx_sim::impl_to_json!(OverheadResult {
+    rows,
+    paper_disabled_ns,
+    paper_coalesced_ns
+});

@@ -9,10 +9,9 @@
 use super::parallel_map;
 use crate::report::Table;
 use omx_core::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One (size, strategy) measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PingPongPoint {
     /// Strategy label.
     pub strategy: String,
@@ -25,7 +24,7 @@ pub struct PingPongPoint {
 }
 
 /// Full sweep result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PingPongResult {
     /// Whether the Open-MX strategy is included (Fig. 6) or not (Fig. 5).
     pub with_openmx: bool,
@@ -152,3 +151,14 @@ mod tests {
         }
     }
 }
+
+omx_sim::impl_to_json!(PingPongPoint {
+    strategy,
+    msg_len,
+    half_rtt_ns,
+    normalized
+});
+omx_sim::impl_to_json!(PingPongResult {
+    with_openmx,
+    points
+});

@@ -18,10 +18,9 @@
 use super::parallel_map;
 use crate::report::Table;
 use omx_core::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Which constant is being perturbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Knob {
     /// `proc_wakeup_ns` — blocked-process wakeup latency.
     ProcWakeup,
@@ -55,7 +54,7 @@ impl Knob {
 }
 
 /// One perturbation's measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityRow {
     /// Perturbed knob.
     pub knob: String,
@@ -68,7 +67,7 @@ pub struct SensitivityRow {
 }
 
 /// Full study.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityResult {
     /// One row per (knob, scale), plus the calibrated baseline.
     pub rows: Vec<SensitivityRow>,
@@ -103,7 +102,9 @@ fn measure(knob: Option<(Knob, f64)>, messages: u32) -> (f64, f64) {
     let timeout_lat = build(CoalescingStrategy::Timeout { delay_us: 75 })
         .run_pingpong(pp)
         .half_rtt_ns as f64;
-    let disabled_lat = build(CoalescingStrategy::Disabled).run_pingpong(pp).half_rtt_ns as f64;
+    let disabled_lat = build(CoalescingStrategy::Disabled)
+        .run_pingpong(pp)
+        .half_rtt_ns as f64;
     (default_rate / disabled_rate, timeout_lat / disabled_lat)
 }
 
@@ -194,3 +195,11 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(SensitivityRow {
+    knob,
+    scale,
+    rate_ratio,
+    latency_ratio
+});
+omx_sim::impl_to_json!(SensitivityResult { rows });

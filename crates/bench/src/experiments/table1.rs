@@ -8,13 +8,12 @@
 //! | 32 KiB | 14507   | 6476     | 14533   | 14691  |
 //! | 1 MiB  | 452     | 334      | 451     | 447    |
 
-use super::{parallel_map, paper_strategies};
+use super::{paper_strategies, parallel_map};
 use crate::report::Table;
 use omx_core::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One cell of the table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Cell {
     /// Message size in bytes.
     pub msg_len: u32,
@@ -27,7 +26,7 @@ pub struct Table1Cell {
 }
 
 /// Full table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Result {
     /// All cells.
     pub cells: Vec<Table1Cell>,
@@ -124,3 +123,11 @@ mod tests {
         assert!(rate(1 << 20, "open-mx") > rate(1 << 20, "default") * 0.85);
     }
 }
+
+omx_sim::impl_to_json!(Table1Cell {
+    msg_len,
+    strategy,
+    msgs_per_sec,
+    interrupts_per_msg,
+});
+omx_sim::impl_to_json!(Table1Result { cells });

@@ -11,10 +11,9 @@ use crate::report::Table;
 use omx_core::marking::{MarkClass, MarkingPolicy};
 use omx_core::prelude::*;
 use omx_core::workloads::transfer::TransferSpec;
-use serde::{Deserialize, Serialize};
 
 /// One strategy row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Strategy label.
     pub strategy: String,
@@ -25,7 +24,7 @@ pub struct Table2Row {
 }
 
 /// One marker-ablation row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Which marker class was removed ("none" = full policy).
     pub removed: String,
@@ -36,7 +35,7 @@ pub struct AblationRow {
 }
 
 /// Full Table II result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Result {
     /// Strategy comparison (the table proper).
     pub rows: Vec<Table2Row>,
@@ -171,3 +170,15 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(Table2Row {
+    strategy,
+    transfer_ns,
+    interrupts
+});
+omx_sim::impl_to_json!(AblationRow {
+    removed,
+    transfer_ns,
+    delta_ns
+});
+omx_sim::impl_to_json!(Table2Result { rows, ablation });

@@ -15,10 +15,9 @@ use omx_core::marking::MarkingPolicy;
 use omx_core::prelude::*;
 use omx_core::workloads::transfer::TransferSpec;
 use omx_fabric::DisturbanceConfig;
-use serde::{Deserialize, Serialize};
 
 /// One (strategy, degree) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Cell {
     /// Strategy label.
     pub strategy: String,
@@ -31,7 +30,7 @@ pub struct Table3Cell {
 }
 
 /// Full Table III result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Result {
     /// All cells.
     pub cells: Vec<Table3Cell>,
@@ -87,12 +86,7 @@ pub fn run(repeats: u32) -> Table3Result {
 
 /// Format as a table.
 pub fn table(result: &Table3Result) -> Table {
-    let mut t = Table::new(vec![
-        "strategy",
-        "degree",
-        "transfer (us)",
-        "rx irq/msg",
-    ]);
+    let mut t = Table::new(vec!["strategy", "degree", "transfer (us)", "rx irq/msg"]);
     for c in &result.cells {
         t.row(vec![
             c.strategy.clone(),
@@ -162,3 +156,11 @@ mod tests {
         );
     }
 }
+
+omx_sim::impl_to_json!(Table3Cell {
+    strategy,
+    degree,
+    transfer_ns,
+    interrupts_per_msg,
+});
+omx_sim::impl_to_json!(Table3Result { cells });

@@ -19,5 +19,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
+pub mod traced;
 
 pub use report::{write_json, Table};

@@ -1,7 +1,8 @@
 //! Experiment CLI — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! omx-bench <experiment> [--quick]
+//! omx-bench <experiment> [--quick] [--trace[=FILE]]
+//! omx-bench trace <experiment> [--quick]
 //!
 //! experiments:
 //!   fig4               message rate vs coalescing delay (Fig. 4)
@@ -21,6 +22,13 @@
 //!   all                everything above
 //! ```
 //!
+//! `trace <experiment>` runs a small representative scenario with
+//! packet-level tracing enabled and writes Chrome trace-event JSON
+//! (Perfetto-loadable), JSONL and a text timeline under `results/`,
+//! then prints a per-phase latency attribution (supported: fig5, fig6,
+//! pingpong, table2). The global `--trace[=FILE]` flag does the same after
+//! a normal experiment run; `FILE` overrides the Chrome export path.
+//!
 //! `--quick` shrinks repetition counts (useful for smoke tests). Results are
 //! printed and written as JSON under `results/`.
 
@@ -33,9 +41,27 @@ use omx_bench::write_json;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // Global --trace[=FILE] flag: capture a trace after the experiment.
+    let trace_flag: Option<Option<String>> = args.iter().find_map(|a| {
+        if a == "--trace" {
+            Some(None)
+        } else {
+            a.strip_prefix("--trace=").map(|f| Some(f.to_string()))
+        }
+    });
     let mut positional = args.iter().filter(|a| !a.starts_with("--"));
     let which = positional.next().map(String::as_str).unwrap_or("all");
     let filter = positional.next().cloned().unwrap_or_default();
+
+    if which == "trace" {
+        let experiment = if filter.is_empty() { "fig5" } else { &filter };
+        let out = trace_flag.as_ref().and_then(|f| f.as_deref());
+        if let Err(e) = omx_bench::traced::run(experiment, quick, out) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
 
     let t0 = std::time::Instant::now();
     match which {
@@ -73,6 +99,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(out) = &trace_flag {
+        if omx_bench::traced::supported().contains(&which) {
+            if let Err(e) = omx_bench::traced::run(which, quick, out.as_deref()) {
+                eprintln!("{e}");
+            }
+        } else {
+            eprintln!(
+                "--trace: no trace scenario for '{which}' (supported: {})",
+                omx_bench::traced::supported().join(", ")
+            );
+        }
+    }
     eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }
 
@@ -88,11 +126,15 @@ fn run_fig4(quick: bool) {
     for config in &configs {
         rows.push(vec![format!("\n# {config}")]);
         for p in result.points.iter().filter(|p| &p.config == config) {
-            rows.push(vec![p.delay_us.to_string(), format!("{:.0}", p.msgs_per_sec)]);
+            rows.push(vec![
+                p.delay_us.to_string(),
+                format!("{:.0}", p.msgs_per_sec),
+            ]);
         }
         rows.push(vec![String::new()]);
     }
-    let _ = omx_bench::report::write_dat("fig4", "delay_us msgs_per_sec (blocks per config)", &rows);
+    let _ =
+        omx_bench::report::write_dat("fig4", "delay_us msgs_per_sec (blocks per config)", &rows);
     let _ = omx_bench::report::write_gnuplot(
         "fig4",
         "set xlabel 'Interrupt coalescing (microseconds)'\n\

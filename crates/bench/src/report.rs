@@ -1,8 +1,9 @@
 //! Result formatting and persistence.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
+
+use omx_sim::json::ToJson;
 
 /// A simple aligned text table for terminal output.
 #[derive(Debug, Default)]
@@ -84,11 +85,11 @@ pub fn write_gnuplot(name: &str, script: &str) -> std::io::Result<()> {
 }
 
 /// Write a result struct as pretty JSON under `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<()> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    let json = value.to_json().render_pretty();
     std::fs::write(&path, json)?;
     eprintln!("wrote {}", path.display());
     Ok(())

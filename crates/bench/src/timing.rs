@@ -1,0 +1,70 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The original harness used Criterion; this self-contained replacement
+//! keeps the same bench entry points (`cargo bench`) without an external
+//! dependency. It runs a warmup pass, then a fixed number of timed
+//! iterations, and prints mean / min per-iteration wall time. Numbers are
+//! indicative, not statistically rigorous — good enough to spot an
+//! order-of-magnitude regression in the simulator hot paths.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` `iters` times (after `warmup` untimed runs) and print per-call
+/// mean and min wall time under the given `group/name` label.
+pub fn bench<T>(group: &str, name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total_ns: u128 = 0;
+    let mut min_ns: u128 = u128::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_nanos();
+        total_ns += dt;
+        min_ns = min_ns.min(dt);
+    }
+    let mean_ns = total_ns / iters as u128;
+    println!(
+        "{group}/{name:<32} mean {:>12}  min {:>12}  ({iters} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut calls = 0u32;
+        bench("test", "counter", 2, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 7, "warmup + timed iterations all execute");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

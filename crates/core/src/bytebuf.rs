@@ -1,0 +1,204 @@
+//! Minimal byte-buffer types for the wire codec.
+//!
+//! [`BytesMut`] is an append-only big-endian encoder and [`Bytes`] a cheap
+//! read cursor over the encoded bytes. They cover exactly the surface the
+//! [`crate::wire`] codec needs (the subset of the `bytes` crate API the code
+//! was originally written against), so the workspace stays dependency-free.
+
+use std::sync::Arc;
+
+/// Growable byte buffer with big-endian put methods.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.buf.into_boxed_slice()),
+            start: 0,
+            end: None,
+            cursor: 0,
+        }
+    }
+}
+
+/// Immutable shared byte slice with a big-endian read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    /// Exclusive end bound (None = full length).
+    end: Option<usize>,
+    /// Read offset relative to `start`.
+    cursor: usize,
+}
+
+impl Bytes {
+    fn end(&self) -> usize {
+        self.end.unwrap_or(self.data.len())
+    }
+
+    /// Total number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.end() - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.len() - self.cursor
+    }
+
+    /// A sub-view of this slice (bounds relative to the view, not to the
+    /// read cursor). The clone shares the underlying allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: Some(self.start + range.end),
+            cursor: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let at = self.start + self.cursor;
+        assert!(
+            self.remaining() >= n,
+            "buffer underflow: {} < {n}",
+            self.remaining()
+        );
+        self.cursor += n;
+        &self.data[at..at + n]
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start + self.cursor..self.end()]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16(0xA1B2);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 3);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 18);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xA1B2);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn slice_is_independent() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[10, 20, 30, 40]);
+        let full = b.freeze();
+        let mut cut = full.slice(1..3);
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cut.get_u8(), 20);
+        assert_eq!(cut.get_u8(), 30);
+        assert_eq!(cut.remaining(), 0);
+        // Original cursor untouched.
+        assert_eq!(full.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r = Bytes::from(vec![1u8]);
+        let _ = r.get_u16();
+    }
+}

@@ -41,7 +41,9 @@
 
 #![warn(missing_docs)]
 
+pub mod bytebuf;
 pub mod config;
+pub mod latency;
 pub mod marking;
 pub mod matching;
 pub mod metrics;
@@ -57,9 +59,11 @@ pub use system::{Cluster, ClusterBuilder};
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::config::ClusterConfig;
+    pub use crate::latency::{LatencyBreakdown, PhaseSummary};
     pub use crate::marking::MarkingPolicy;
     pub use crate::metrics::ClusterMetrics;
     pub use crate::system::{Cluster, ClusterBuilder};
+    pub use crate::trace::{TraceEvent, TraceKind, Tracer};
     pub use crate::wire::{EndpointAddr, NodeId};
     pub use crate::workloads::pingpong::{PingPongReport, PingPongSpec};
     pub use crate::workloads::stream::{StreamReport, StreamSpec};

@@ -22,10 +22,9 @@
 //! an earlier one."
 
 use crate::wire::{Packet, PacketKind};
-use serde::{Deserialize, Serialize};
 
 /// Which packet classes the sender driver marks latency-sensitive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MarkingPolicy {
     /// Mark small eager messages.
     pub small: bool,
@@ -124,7 +123,7 @@ impl MarkingPolicy {
 }
 
 /// One markable packet class (for the ablation experiment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MarkClass {
     /// Small eager messages.
     Small,
@@ -225,7 +224,10 @@ mod tests {
                 medium_mark_displacement: degree,
                 ..MarkingPolicy::all()
             };
-            assert!(!p.should_mark(&medium(22, 23)), "degree {degree}: last unmarked");
+            assert!(
+                !p.should_mark(&medium(22, 23)),
+                "degree {degree}: last unmarked"
+            );
             assert!(p.should_mark(&medium(22 - degree, 23)));
         }
     }

@@ -8,10 +8,10 @@
 use crate::proto::DriverCounters;
 use omx_host::HostCounters;
 use omx_nic::NicCounters;
-use serde::{Deserialize, Serialize};
+use omx_sim::stats::TimeWeighted;
 
 /// Counters of one node after a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeMetrics {
     /// NIC counters (interrupts, packets, marks, batch sizes).
     pub nic: NicCounters,
@@ -19,10 +19,26 @@ pub struct NodeMetrics {
     pub host: HostCounters,
     /// Driver counters (retransmits, acks, completions).
     pub driver: DriverCounters,
+    /// Time-weighted depth of the NIC's in-flight DMA set (how much
+    /// reassembly work is outstanding at any instant).
+    pub pending_dma: TimeWeighted,
 }
 
+omx_sim::impl_to_json!(NodeMetrics {
+    nic,
+    host,
+    driver,
+    pending_dma,
+});
+omx_sim::impl_from_json!(NodeMetrics {
+    nic,
+    host,
+    driver,
+    pending_dma,
+});
+
 /// Whole-cluster metrics after a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterMetrics {
     /// Simulated time at harvest, nanoseconds.
     pub sim_time_ns: u64,
@@ -33,6 +49,19 @@ pub struct ClusterMetrics {
     /// Per-node counters.
     pub nodes: Vec<NodeMetrics>,
 }
+
+omx_sim::impl_to_json!(ClusterMetrics {
+    sim_time_ns,
+    frames_carried,
+    frames_dropped,
+    nodes,
+});
+omx_sim::impl_from_json!(ClusterMetrics {
+    sim_time_ns,
+    frames_carried,
+    frames_dropped,
+    nodes,
+});
 
 impl ClusterMetrics {
     /// Total interrupts across all nodes ("on both sides", Table II).
@@ -89,7 +118,12 @@ mod tests {
         let mut driver = DriverCounters::default();
         driver.acks_sent.add(acks);
         driver.eager_retransmits.add(1);
-        NodeMetrics { nic, host, driver }
+        NodeMetrics {
+            nic,
+            host,
+            driver,
+            pending_dma: TimeWeighted::default(),
+        }
     }
 
     #[test]
@@ -130,9 +164,11 @@ mod tests {
             nodes: vec![node_with(1, 1, 1)],
         };
         // The bench harness persists these; the shape must stay stable.
-        let json = serde_json::to_string(&m).expect("serializable");
+        use omx_sim::json::{FromJson, Json, ToJson};
+        let json = m.to_json().render();
         assert!(json.contains("\"sim_time_ns\":42"));
-        let back: ClusterMetrics = serde_json::from_str(&json).expect("roundtrip");
+        let back =
+            ClusterMetrics::from_json(&Json::parse(&json).expect("parses")).expect("roundtrip");
         assert_eq!(back.total_interrupts(), 1);
     }
 }

@@ -29,11 +29,10 @@ use crate::wire::{
 };
 use omx_sim::stats::Counter;
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Protocol tunables.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProtoConfig {
     /// Fabric MTU (fragment sizing).
     pub mtu: u32,
@@ -76,6 +75,8 @@ pub enum DriverAction {
         handle: u64,
         /// Sender.
         src: EndpointAddr,
+        /// Message id (links the completion to its wire packets in traces).
+        msg: MsgId,
         /// Match info of the message.
         match_info: u64,
         /// Message length.
@@ -97,7 +98,7 @@ pub enum DriverAction {
 }
 
 /// Driver statistics.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct DriverCounters {
     /// Eager data packets sent (first transmissions).
     pub eager_sent: Counter,
@@ -114,6 +115,25 @@ pub struct DriverCounters {
     /// Send completions delivered.
     pub send_completions: Counter,
 }
+
+omx_sim::impl_to_json!(DriverCounters {
+    eager_sent,
+    eager_retransmits,
+    pull_rerequests,
+    acks_sent,
+    duplicates,
+    recv_completions,
+    send_completions,
+});
+omx_sim::impl_from_json!(DriverCounters {
+    eager_sent,
+    eager_retransmits,
+    pull_rerequests,
+    acks_sent,
+    duplicates,
+    recv_completions,
+    send_completions,
+});
 
 // ---------------------------------------------------------------------------
 // Internal state
@@ -363,7 +383,14 @@ impl NodeDriver {
                 ..
             } => {
                 self.rx_medium(
-                    now, local_ep, remote, msg, match_info, frag, frag_count, total_len,
+                    now,
+                    local_ep,
+                    remote,
+                    msg,
+                    match_info,
+                    frag,
+                    frag_count,
+                    total_len,
                     &mut actions,
                 );
                 self.bump_rx_ack(now, local_ep, remote, &mut actions);
@@ -373,7 +400,15 @@ impl NodeDriver {
                 match_info,
                 total_len,
             } => {
-                self.rx_rendezvous(now, local_ep, remote, msg, match_info, total_len, &mut actions);
+                self.rx_rendezvous(
+                    now,
+                    local_ep,
+                    remote,
+                    msg,
+                    match_info,
+                    total_len,
+                    &mut actions,
+                );
                 self.bump_rx_ack(now, local_ep, remote, &mut actions);
             }
             PacketKind::PullRequest {
@@ -390,7 +425,16 @@ impl NodeDriver {
                 last_of_block,
                 ..
             } => {
-                self.rx_pull_reply(now, local_ep, remote, msg, block, frame, last_of_block, &mut actions);
+                self.rx_pull_reply(
+                    now,
+                    local_ep,
+                    remote,
+                    msg,
+                    block,
+                    frame,
+                    last_of_block,
+                    &mut actions,
+                );
             }
             PacketKind::Notify { msg } => {
                 self.rx_notify(now, local_ep, remote, msg, &mut actions);
@@ -682,11 +726,7 @@ impl NodeDriver {
                 Vec::new()
             } else {
                 conn.acked = ack;
-                while conn
-                    .unacked
-                    .front()
-                    .is_some_and(|(seq, _, _)| *seq <= ack)
-                {
+                while conn.unacked.front().is_some_and(|(seq, _, _)| *seq <= ack) {
                     conn.unacked.pop_front();
                 }
                 // Release queued sends that now fit the window.
@@ -827,6 +867,7 @@ impl NodeDriver {
                 ep,
                 handle: recv.handle,
                 src,
+                msg,
                 match_info,
                 len,
             });
@@ -874,10 +915,7 @@ impl NodeDriver {
                 len: total_len,
             };
             if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
-                self.mediums
-                    .get_mut(&key)
-                    .expect("just inserted")
-                    .handle = Some(recv.handle);
+                self.mediums.get_mut(&key).expect("just inserted").handle = Some(recv.handle);
             }
         }
         self.try_complete_medium(now, key, actions);
@@ -897,6 +935,7 @@ impl NodeDriver {
             ep: m.ep,
             handle: m.handle.expect("matched"),
             src: m.src,
+            msg: key.1,
             match_info: m.match_info,
             len: m.total_len,
         });
@@ -925,7 +964,16 @@ impl NodeDriver {
             len: total_len,
         };
         if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
-            self.begin_pull(now, ep, src, msg, match_info, total_len, recv.handle, actions);
+            self.begin_pull(
+                now,
+                ep,
+                src,
+                msg,
+                match_info,
+                total_len,
+                recv.handle,
+                actions,
+            );
         }
         // Unmatched rendezvous sits in the unexpected queue; the pull starts
         // when a matching receive is posted (claim_unexpected).
@@ -1115,6 +1163,7 @@ impl NodeDriver {
                 ep: pull.ep,
                 handle: pull.handle,
                 src: pull.src,
+                msg,
                 match_info: pull.match_info,
                 len: pull.total_len,
             });
@@ -1153,6 +1202,7 @@ impl NodeDriver {
                 ep,
                 handle,
                 src: unexpected.src,
+                msg: unexpected.msg,
                 match_info: unexpected.match_info,
                 len: unexpected.len,
             });
@@ -1520,7 +1570,8 @@ mod tests {
         let mut a = NodeDriver::new(0, 1, cfg);
         let mut b = NodeDriver::new(1, 1, cfg);
         b.post_recv(t0(), 0, 3, !0, 77);
-        let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 100 * 1024, 3, 88));
+        let (pkts, _) =
+            split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 100 * 1024, 3, 88));
         // Deliver the rendezvous; capture the pull requests and DROP them all.
         let acts = b.handle_packet(t0(), pkts[0]);
         let (reqs, _) = split_transmits(acts);
@@ -1535,7 +1586,11 @@ mod tests {
             .into_iter()
             .filter(|p| matches!(p.kind, PacketKind::PullRequest { .. }))
             .collect();
-        assert_eq!(rereqs.len(), reqs.len(), "all in-flight blocks re-requested");
+        assert_eq!(
+            rereqs.len(),
+            reqs.len(),
+            "all in-flight blocks re-requested"
+        );
         assert!(b.counters().pull_rerequests.get() >= 1);
         // Deliver the re-requests: transfer completes normally.
         let deliveries: Vec<(u16, Packet)> = rereqs.iter().map(|p| (0, *p)).collect();
@@ -1563,7 +1618,8 @@ mod tests {
             b.post_recv(t0(), 0, i, !0, i);
         }
         for i in 0..200 {
-            let (pkts, _) = split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, i, i));
+            let (pkts, _) =
+                split_transmits(a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, i, i));
             for p in pkts {
                 data += 1;
                 let acts = b.handle_packet(t0(), p);

@@ -25,15 +25,15 @@
 //! co-located.
 
 use crate::metrics::{ClusterMetrics, NodeMetrics};
-use crate::trace::{packet_label, TraceKind, Tracer};
 use crate::proto::{DriverAction, NodeDriver, ProtoConfig};
-use crate::wire::{EndpointAddr, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
+use crate::trace::{TraceData, TraceKind, Tracer};
+use crate::wire::{EndpointAddr, MsgId, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
 use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
 use omx_host::{CoreId, Host, HostConfig};
 use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta};
 use omx_sim::rng::SimRng;
+use omx_sim::stats::TimeWeighted;
 use omx_sim::{Engine, Model, Scheduler, StopCondition, Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -42,7 +42,7 @@ use std::collections::HashMap;
 // ---------------------------------------------------------------------------
 
 /// Complete, serialisable experiment configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of nodes.
     pub nodes: usize,
@@ -191,6 +191,8 @@ pub struct RecvCompletion {
     pub handle: u64,
     /// Sender endpoint.
     pub src: EndpointAddr,
+    /// Message id (links the completion to its wire packets in traces).
+    pub msg: MsgId,
     /// Match info of the message.
     pub match_info: u64,
     /// Message length in bytes.
@@ -397,8 +399,26 @@ struct NodeRt {
     host: Host,
     /// Frames whose DMA is in flight or that sit ready in host memory.
     in_dma: HashMap<DescId, WireFrame>,
+    /// Time-weighted depth of `in_dma` — outstanding receive work.
+    pending_dma: TimeWeighted,
     /// Armed driver-timer deadline (dedup of DriverTimer events).
     driver_timer: Option<Time>,
+}
+
+impl NodeRt {
+    fn dma_insert(&mut self, now: Time, desc: DescId, pkt: WireFrame) {
+        self.in_dma.insert(desc, pkt);
+        self.pending_dma.set(now, self.in_dma.len() as f64);
+    }
+
+    fn dma_remove(&mut self, now: Time, desc: DescId) -> WireFrame {
+        let frame = self
+            .in_dma
+            .remove(&desc)
+            .expect("ready packet has a stored frame");
+        self.pending_dma.set(now, self.in_dma.len() as f64);
+        frame
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -421,9 +441,11 @@ struct SystemModel {
 }
 
 impl SystemModel {
-    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, detail: impl FnOnce() -> String) {
+    /// Record a trace event. The payload is built lazily: when tracing is
+    /// disabled the closure never runs, so tracing costs one branch.
+    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
         if let Some(t) = self.tracer.as_mut() {
-            t.record(at, node, kind, detail());
+            t.record(at, node, kind, data());
         }
     }
 
@@ -448,10 +470,7 @@ impl SystemModel {
                 }
                 let key = (pkt.hdr.dst.node.0, pkt.hdr.dst.endpoint);
                 if !woken.contains(&key)
-                    && self
-                        .actors
-                        .get(&key)
-                        .is_some_and(|a| a.blocking_waits())
+                    && self.actors.get(&key).is_some_and(|a| a.blocking_waits())
                 {
                     woken.push(key);
                     wake_ns += if self.cfg.host.sleep_enabled {
@@ -493,6 +512,10 @@ impl SystemModel {
     fn transmit_omx(&mut self, now: Time, pkt: Packet, sched: &mut Scheduler<Ev>) {
         let src = pkt.hdr.src.node.0;
         let dst = pkt.hdr.dst.node.0;
+        self.trace(now, src, TraceKind::Transmit, || TraceData::Packet {
+            pkt,
+            desc: None,
+        });
         if src == dst {
             // Shared-memory path: no NIC, no interrupt.
             let bytes = pkt.payload_len() as u64;
@@ -506,10 +529,12 @@ impl SystemModel {
         }
         let doorbell = self.cfg.host.costs.tx_doorbell_ns;
         let t = now + TimeDelta::from_nanos(doorbell as i64);
-        match self
-            .fabric
-            .transmit(t, PortId(src as usize), PortId(dst as usize), pkt.wire_len())
-        {
+        match self.fabric.transmit(
+            t,
+            PortId(src as usize),
+            PortId(dst as usize),
+            pkt.wire_len(),
+        ) {
             TransmitOutcome::Arrives(at) => {
                 sched.schedule_at(
                     at,
@@ -569,12 +594,10 @@ impl SystemModel {
         if out.interrupt {
             let flow = self.nodes[node as usize].nic.claimed_flow();
             let svc = self.nodes[node as usize].host.deliver_irq(now, flow);
-            self.trace(now, node, TraceKind::Interrupt, || {
-                format!(
-                    "core {}{}",
-                    svc.core,
-                    if svc.was_sleeping { " (woken)" } else { "" }
-                )
+            self.trace(now, node, TraceKind::Interrupt, || TraceData::Irq {
+                core: svc.core,
+                start_ns: svc.start.as_nanos(),
+                woken: svc.was_sleeping,
             });
             sched.schedule_at(
                 svc.start,
@@ -602,7 +625,9 @@ impl SystemModel {
                 DriverAction::Transmit(pkt) => {
                     let cost = self.tx_cost_ns(&pkt);
                     if let Some(core) = irq_core {
-                        cursor = self.nodes[node as usize].host.occupy_irq(core, cursor, cost);
+                        cursor = self.nodes[node as usize]
+                            .host
+                            .occupy_irq(core, cursor, cost);
                     } else {
                         cursor += TimeDelta::from_nanos(cost as i64);
                     }
@@ -612,6 +637,7 @@ impl SystemModel {
                     ep,
                     handle,
                     src,
+                    msg,
                     match_info,
                     len,
                 } => {
@@ -625,6 +651,7 @@ impl SystemModel {
                             c: RecvCompletion {
                                 handle,
                                 src,
+                                msg,
                                 match_info,
                                 len,
                             },
@@ -705,9 +732,9 @@ impl SystemModel {
                         + costs.send_frag_ns * frags.min(4)
                         + costs.tx_copy_ns(eager_len);
                     cursor += TimeDelta::from_nanos(cpu as i64);
-                    let actions = self.nodes[node as usize].driver.post_send(
-                        cursor, ep, dst, len, match_info, handle,
-                    );
+                    let actions = self.nodes[node as usize]
+                        .driver
+                        .post_send(cursor, ep, dst, len, match_info, handle);
                     self.run_driver_actions(node, cursor, actions, None, sched);
                 }
                 ActorCmd::Recv {
@@ -781,27 +808,37 @@ impl Model for SystemModel {
             Ev::FrameArrival { node, pkt } => {
                 let meta = pkt.meta();
                 let out = self.nodes[node as usize].nic.on_frame(now, meta);
-                self.trace(now, node, TraceKind::FrameArrival, || match &pkt {
-                    WireFrame::Omx(p) => packet_label(p),
-                    WireFrame::Raw { payload_len } => format!("raw len={payload_len}"),
+                let desc = if out.dropped {
+                    None
+                } else {
+                    out.dma.map(|(d, _)| d)
+                };
+                self.trace(now, node, TraceKind::FrameArrival, || match pkt {
+                    WireFrame::Omx(p) => TraceData::Packet {
+                        pkt: p,
+                        desc: desc.map(|d| d.0),
+                    },
+                    WireFrame::Raw { payload_len } => TraceData::RawFrame { len: payload_len },
                 });
                 if out.dropped {
-                    self.trace(now, node, TraceKind::Drop, || "ring full".to_string());
+                    self.trace(now, node, TraceKind::Drop, || TraceData::Text("ring full"));
                 } else if let Some((desc, _)) = out.dma {
-                    self.nodes[node as usize].in_dma.insert(desc, pkt);
+                    self.nodes[node as usize].dma_insert(now, desc, pkt);
                 }
                 self.apply_nic_outcome(node, now, out, sched);
             }
             Ev::DmaComplete { node, desc } => {
                 let out = self.nodes[node as usize].nic.on_dma_complete(now, desc);
-                self.trace(now, node, TraceKind::DmaComplete, || format!("{desc:?}"));
+                self.trace(now, node, TraceKind::DmaComplete, || TraceData::Desc {
+                    desc: desc.0,
+                });
                 self.apply_nic_outcome(node, now, out, sched);
             }
             Ev::CoalesceTimer { node, epoch } => {
                 let out = self.nodes[node as usize].nic.on_timer(now, epoch);
                 if out != NicOutcome::default() {
-                    self.trace(now, node, TraceKind::CoalesceTimer, || {
-                        format!("epoch {epoch}")
+                    self.trace(now, node, TraceKind::CoalesceTimer, || TraceData::Epoch {
+                        epoch,
                     });
                 }
                 self.apply_nic_outcome(node, now, out, sched);
@@ -812,12 +849,7 @@ impl Model for SystemModel {
                 let ready = self.nodes[node as usize].nic.drain_ready();
                 let frames: Vec<WireFrame> = ready
                     .iter()
-                    .map(|r| {
-                        self.nodes[node as usize]
-                            .in_dma
-                            .remove(&r.desc)
-                            .expect("ready packet has a stored frame")
-                    })
+                    .map(|r| self.nodes[node as usize].dma_remove(now, r.desc))
                     .collect();
                 let dur = self.batch_duration(node, core, &frames);
                 let end = self.nodes[node as usize].host.occupy_irq(core, now, dur);
@@ -831,8 +863,9 @@ impl Model for SystemModel {
                 sched.schedule_at(end, Ev::BatchDone { node, core, batch });
             }
             Ev::BatchDone { node, core, batch } => {
-                self.trace(now, node, TraceKind::BatchDone, || {
-                    format!("core {core}, {} packets", batch.len())
+                self.trace(now, node, TraceKind::BatchDone, || TraceData::Batch {
+                    core,
+                    packets: batch.len() as u32,
                 });
                 // Handler done: re-enable interrupts first (NAPI exit), then
                 // hand the packets to the driver's protocol logic.
@@ -863,13 +896,18 @@ impl Model for SystemModel {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_start(ctx));
             }
             Ev::AppRecv { node, ep, c } => {
-                self.trace(now, node, TraceKind::AppDelivery, || {
-                    format!("ep {ep} recv len={}", c.len)
+                self.trace(now, node, TraceKind::AppDelivery, || TraceData::Recv {
+                    ep,
+                    src: c.src.node.0,
+                    msg: c.msg.0,
+                    len: c.len,
                 });
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_recv_complete(ctx, c));
             }
             Ev::AppSend { node, ep, handle } => {
-                self.with_actor(node, ep, now, sched, |a, ctx| a.on_send_complete(ctx, handle));
+                self.with_actor(node, ep, now, sched, |a, ctx| {
+                    a.on_send_complete(ctx, handle)
+                });
             }
             Ev::AppTimer { node, ep, token } => {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_timer(ctx, token));
@@ -909,6 +947,7 @@ impl Cluster {
                 nic: Nic::new(cfg.nic.clone()),
                 host: Host::new(cfg.host),
                 in_dma: HashMap::new(),
+                pending_dma: TimeWeighted::default(),
                 driver_timer: None,
             })
             .collect();
@@ -959,7 +998,10 @@ impl Cluster {
     pub fn add_actor(&mut self, node: u16, ep: u8, actor: Box<dyn Actor>) {
         assert!(!self.started, "actors must be added before the first run");
         let model = self.engine.model_mut();
-        assert!((node as usize) < model.cfg.nodes, "node {node} out of range");
+        assert!(
+            (node as usize) < model.cfg.nodes,
+            "node {node} out of range"
+        );
         assert!(
             (ep as usize) < model.cfg.endpoints_per_node,
             "endpoint {ep} out of range"
@@ -972,7 +1014,10 @@ impl Cluster {
             .host
             .set_app_active(core, polls, Time::ZERO);
         let prev = model.actors.insert((node, ep), actor);
-        assert!(prev.is_none(), "endpoint ({node}, {ep}) already has an actor");
+        assert!(
+            prev.is_none(),
+            "endpoint ({node}, {ep}) already has an actor"
+        );
     }
 
     /// Run until quiescence, the horizon, or an actor-requested stop.
@@ -1022,6 +1067,7 @@ impl Cluster {
                     nic: n.nic.counters().clone(),
                     host: n.host.counters().clone(),
                     driver: n.driver.counters().clone(),
+                    pending_dma: n.pending_dma.clone(),
                 })
                 .collect(),
         }
@@ -1129,7 +1175,10 @@ mod tests {
         let (slow, _) = one_shot(64, CoalescingStrategy::Timeout { delay_us: 75 });
         let delta = slow - fast;
         // §IV-B3: latency inflates by roughly the coalescing delay.
-        assert!(delta.as_micros_f64() > 50.0, "coalescing only added {delta}");
+        assert!(
+            delta.as_micros_f64() > 50.0,
+            "coalescing only added {delta}"
+        );
     }
 
     #[test]

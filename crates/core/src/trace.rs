@@ -1,23 +1,44 @@
-//! Packet-level event tracing.
+//! Structured packet-level event tracing.
 //!
 //! When enabled on a [`crate::Cluster`], the orchestrator records one
 //! [`TraceEvent`] per interesting simulation step into a bounded ring
 //! buffer. Traces turn "why did this transfer take 20 ms?" from archaeology
-//! into reading: the exact interleaving of arrivals, DMA completions, timer
-//! firings, interrupt deliveries and driver hand-offs is visible, with the
-//! packet kind attached.
+//! into reading: the exact interleaving of transmissions, arrivals, DMA
+//! completions, timer firings, interrupt deliveries and driver hand-offs is
+//! visible, with typed payloads attached.
 //!
-//! Tracing is off by default and costs nothing when disabled (a branch on an
-//! `Option`).
+//! Events carry [`TraceData`] — a `Copy` payload of packet/descriptor/core
+//! identifiers, not a pre-formatted string — so recording never allocates
+//! and the events stay machine-readable. The identifiers are enough to link
+//! events causally into per-message lifecycle spans (transmit → frame
+//! arrival → DMA complete → coalesce hold → interrupt → driver batch → app
+//! delivery); [`crate::latency`] builds those spans and decomposes
+//! end-to-end latency into phases.
+//!
+//! Three exporters read the buffer:
+//!
+//! * [`Tracer::render`] — a human-readable timeline,
+//! * [`Tracer::to_jsonl`] — one JSON object per event, for ad-hoc scripting,
+//! * [`Tracer::to_chrome_json`] — the Chrome trace-event format, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`; nodes map
+//!   to processes, cores to threads, and per-message latency phases to
+//!   duration slices.
+//!
+//! Tracing is off by default and costs nothing when disabled: the
+//! orchestrator's trace hook takes the payload as a closure and never calls
+//! it unless a tracer is installed (a branch on an `Option`).
 
+use crate::latency;
 use crate::wire::{Packet, PacketKind};
+use omx_sim::json::{Json, ToJson};
 use omx_sim::Time;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// What happened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
+    /// The driver handed a frame to the NIC TX path.
+    Transmit,
     /// A frame arrived at a node's NIC from the wire.
     FrameArrival,
     /// A frame's DMA into host memory completed.
@@ -34,8 +55,84 @@ pub enum TraceKind {
     Drop,
 }
 
+impl TraceKind {
+    /// Stable lowercase name used by the JSON exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Transmit => "transmit",
+            TraceKind::FrameArrival => "frame_arrival",
+            TraceKind::DmaComplete => "dma_complete",
+            TraceKind::CoalesceTimer => "coalesce_timer",
+            TraceKind::Interrupt => "interrupt",
+            TraceKind::BatchDone => "batch_done",
+            TraceKind::AppDelivery => "app_delivery",
+            TraceKind::Drop => "drop",
+        }
+    }
+}
+
+/// Typed event payload. Everything is `Copy`: recording a trace event never
+/// allocates, so tracing stays cheap enough to leave on for full runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceData {
+    /// No payload.
+    None,
+    /// Static label (e.g. a drop reason).
+    Text(&'static str),
+    /// An Open-MX packet; `desc` is the RX DMA descriptor once allocated.
+    Packet {
+        /// The packet itself (headers only — payloads are synthetic).
+        pkt: Packet,
+        /// RX descriptor the NIC assigned, if any.
+        desc: Option<u64>,
+    },
+    /// A raw (IP) frame of this wire length.
+    RawFrame {
+        /// Frame length on the wire, bytes.
+        len: u32,
+    },
+    /// DMA completion for a descriptor.
+    Desc {
+        /// The completed descriptor.
+        desc: u64,
+    },
+    /// Coalescing-timer epoch.
+    Epoch {
+        /// Timer epoch that fired.
+        epoch: u64,
+    },
+    /// Interrupt raise: target core, handler start time, sleep state.
+    Irq {
+        /// Core the interrupt was routed to.
+        core: usize,
+        /// When the handler actually starts (queued behind earlier work).
+        start_ns: u64,
+        /// Whether the core had to exit C1E sleep.
+        woken: bool,
+    },
+    /// Receive-handler batch completion on a core.
+    Batch {
+        /// Core that ran the handler.
+        core: usize,
+        /// Packets the batch claimed.
+        packets: u32,
+    },
+    /// Application-visible receive completion.
+    Recv {
+        /// Local endpoint delivered to.
+        ep: u8,
+        /// Sending node (message ids are per-connection, so the sender is
+        /// needed to identify the message globally).
+        src: u16,
+        /// Message id.
+        msg: u64,
+        /// Message length, bytes.
+        len: u32,
+    },
+}
+
 /// One trace record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Simulated time.
     pub at_ns: u64,
@@ -43,8 +140,113 @@ pub struct TraceEvent {
     pub node: u16,
     /// Event class.
     pub kind: TraceKind,
-    /// Short description of the subject (packet kind, batch size, core, …).
-    pub detail: String,
+    /// Typed payload.
+    pub data: TraceData,
+}
+
+impl TraceEvent {
+    /// Message id this event is about, when derivable from the payload.
+    pub fn msg_id(&self) -> Option<u64> {
+        match self.data {
+            TraceData::Packet { pkt, .. } => pkt.msg_id().map(|m| m.0),
+            TraceData::Recv { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// Core the event is bound to, when the payload names one. Used as the
+    /// Chrome trace `tid` so per-core interrupt activity lines up.
+    pub fn core(&self) -> Option<usize> {
+        match self.data {
+            TraceData::Irq { core, .. } | TraceData::Batch { core, .. } => Some(core),
+            _ => None,
+        }
+    }
+
+    /// Human-readable payload description (allocates; only for rendering).
+    pub fn detail(&self) -> String {
+        match self.data {
+            TraceData::None => String::new(),
+            TraceData::Text(s) => s.to_string(),
+            TraceData::Packet { pkt, desc } => match desc {
+                Some(d) => format!("{} desc={d}", packet_label(&pkt)),
+                None => packet_label(&pkt),
+            },
+            TraceData::RawFrame { len } => format!("raw len={len}"),
+            TraceData::Desc { desc } => format!("desc={desc}"),
+            TraceData::Epoch { epoch } => format!("epoch {epoch}"),
+            TraceData::Irq {
+                core,
+                start_ns,
+                woken,
+            } => format!(
+                "core {core} start={start_ns}{}",
+                if woken { " (woken)" } else { "" }
+            ),
+            TraceData::Batch { core, packets } => format!("core {core}, {packets} packets"),
+            TraceData::Recv { ep, src, msg, len } => {
+                format!("ep {ep} src={src} msg={msg} len={len}")
+            }
+        }
+    }
+
+    fn args(&self) -> Vec<(String, Json)> {
+        let mut args = Vec::new();
+        let mut put = |k: &str, v: Json| args.push((k.to_string(), v));
+        match self.data {
+            TraceData::None => {}
+            TraceData::Text(s) => put("label", Json::Str(s.to_string())),
+            TraceData::Packet { pkt, desc } => {
+                put("packet", Json::Str(packet_label(&pkt)));
+                if let Some(m) = pkt.msg_id() {
+                    put("msg", Json::U64(m.0));
+                }
+                put("len", Json::U64(u64::from(pkt.payload_len())));
+                put("marked", Json::Bool(pkt.hdr.latency_sensitive));
+                if let Some(d) = desc {
+                    put("desc", Json::U64(d));
+                }
+            }
+            TraceData::RawFrame { len } => {
+                put("packet", Json::Str("raw".to_string()));
+                put("len", Json::U64(u64::from(len)));
+            }
+            TraceData::Desc { desc } => put("desc", Json::U64(desc)),
+            TraceData::Epoch { epoch } => put("epoch", Json::U64(epoch)),
+            TraceData::Irq {
+                core,
+                start_ns,
+                woken,
+            } => {
+                put("core", Json::U64(core as u64));
+                put("start_ns", Json::U64(start_ns));
+                put("woken", Json::Bool(woken));
+            }
+            TraceData::Batch { core, packets } => {
+                put("core", Json::U64(core as u64));
+                put("packets", Json::U64(u64::from(packets)));
+            }
+            TraceData::Recv { ep, src, msg, len } => {
+                put("ep", Json::U64(u64::from(ep)));
+                put("src", Json::U64(u64::from(src)));
+                put("msg", Json::U64(msg));
+                put("len", Json::U64(u64::from(len)));
+            }
+        }
+        args
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("at_ns".to_string(), Json::U64(self.at_ns)),
+            ("node".to_string(), Json::U64(u64::from(self.node))),
+            ("kind".to_string(), Json::Str(self.kind.name().to_string())),
+        ];
+        fields.extend(self.args());
+        Json::Obj(fields)
+    }
 }
 
 /// Bounded trace buffer.
@@ -57,16 +259,23 @@ pub struct Tracer {
 
 impl Tracer {
     /// New tracer keeping at most `capacity` events (oldest evicted first).
+    /// The requested capacity is honored exactly (minimum 1).
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         Tracer {
-            events: VecDeque::with_capacity(capacity.min(4096)),
-            capacity: capacity.max(1),
+            events: VecDeque::with_capacity(capacity),
+            capacity,
             dropped: 0,
         }
     }
 
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Record one event.
-    pub fn record(&mut self, at: Time, node: u16, kind: TraceKind, detail: String) {
+    pub fn record(&mut self, at: Time, node: u16, kind: TraceKind, data: TraceData) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -75,7 +284,7 @@ impl Tracer {
             at_ns: at.as_nanos(),
             node,
             kind,
-            detail,
+            data,
         });
     }
 
@@ -108,13 +317,79 @@ impl Tracer {
                 e.at_ns,
                 e.node,
                 format!("{:?}", e.kind),
-                e.detail
+                e.detail()
             ));
         }
         if self.dropped > 0 {
             out.push_str(&format!("... ({} earlier events evicted)\n", self.dropped));
         }
         out
+    }
+
+    /// Export as JSON Lines: one object per event, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export in the Chrome trace-event format (Perfetto,
+    /// `chrome://tracing`).
+    ///
+    /// Every trace event becomes an instant event (`ph: "i"`) with
+    /// `pid` = node and `tid` = core (0 when the event is not core-bound).
+    /// On top of the instants, every message lifecycle the
+    /// [`crate::latency`] analyzer can assemble is emitted as a stack of
+    /// duration slices (`ph: "X"`): one enclosing `msg <id>` slice plus one
+    /// slice per latency phase, on the receiving node under
+    /// `tid` = `1000 + msg`. Timestamps are microseconds (the format's
+    /// unit), kept fractional so nanosecond resolution survives.
+    pub fn to_chrome_json(&self) -> Json {
+        let us = |ns: u64| Json::F64(ns as f64 / 1000.0);
+        let mut trace_events = Vec::new();
+        for e in &self.events {
+            let mut ev = vec![
+                ("name".to_string(), Json::Str(e.kind.name().to_string())),
+                ("ph".to_string(), Json::Str("i".to_string())),
+                ("ts".to_string(), us(e.at_ns)),
+                ("pid".to_string(), Json::U64(u64::from(e.node))),
+                ("tid".to_string(), Json::U64(e.core().unwrap_or(0) as u64)),
+                ("s".to_string(), Json::Str("t".to_string())),
+            ];
+            ev.push(("args".to_string(), Json::Obj(e.args())));
+            trace_events.push(Json::Obj(ev));
+        }
+        let events: Vec<TraceEvent> = self.events.iter().copied().collect();
+        for b in latency::analyze(&events) {
+            // Thread lane for the message on the receiver process.
+            let tid = 1000 + b.msg;
+            let span = |name: &str, start: u64, dur: u64| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.to_string())),
+                    ("ph", Json::Str("X".to_string())),
+                    ("ts", us(start)),
+                    ("dur", Json::F64(dur as f64 / 1000.0)),
+                    ("pid", Json::U64(u64::from(b.receiver))),
+                    ("tid", Json::U64(tid)),
+                    ("args", Json::obj(vec![("msg", Json::U64(b.msg))])),
+                ])
+            };
+            trace_events.push(span(&format!("msg {}", b.msg), b.start_ns, b.total_ns()));
+            let mut cursor = b.start_ns;
+            for (name, dur) in b.phases() {
+                if dur > 0 {
+                    trace_events.push(span(name, cursor, dur));
+                }
+                cursor += dur;
+            }
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(trace_events)),
+            ("displayTimeUnit", Json::Str("ns".to_string())),
+        ])
     }
 }
 
@@ -124,7 +399,10 @@ pub fn packet_label(pkt: &Packet) -> String {
     match pkt.kind {
         PacketKind::Small { msg, len, .. } => format!("small{mark} msg={} len={len}", msg.0),
         PacketKind::MediumFrag {
-            msg, frag, frag_count, ..
+            msg,
+            frag,
+            frag_count,
+            ..
         } => format!("medium{mark} msg={} frag={frag}/{frag_count}", msg.0),
         PacketKind::Rendezvous { msg, total_len, .. } => {
             format!("rendezvous{mark} msg={} len={total_len}", msg.0)
@@ -133,7 +411,11 @@ pub fn packet_label(pkt: &Packet) -> String {
             format!("pull-req{mark} msg={} block={block}", msg.0)
         }
         PacketKind::PullReply {
-            msg, block, frame, last_of_block, ..
+            msg,
+            block,
+            frame,
+            last_of_block,
+            ..
         } => format!(
             "pull-reply{mark} msg={} block={block} frame={frame}{}",
             msg.0,
@@ -154,11 +436,45 @@ mod tests {
         Time::from_nanos(ns)
     }
 
+    fn small_pkt(msg: u64, marked: bool) -> Packet {
+        Packet {
+            hdr: OmxHeader {
+                src: EndpointAddr::new(0, 0),
+                dst: EndpointAddr::new(1, 0),
+                latency_sensitive: marked,
+                seq: 0,
+                ack: 0,
+            },
+            kind: PacketKind::Small {
+                msg: MsgId(msg),
+                match_info: 0,
+                len: 64,
+            },
+        }
+    }
+
     #[test]
     fn records_and_renders_in_order() {
         let mut tr = Tracer::new(16);
-        tr.record(t(10), 0, TraceKind::FrameArrival, "a".into());
-        tr.record(t(20), 1, TraceKind::Interrupt, "b".into());
+        tr.record(
+            t(10),
+            0,
+            TraceKind::FrameArrival,
+            TraceData::Packet {
+                pkt: small_pkt(1, false),
+                desc: Some(0),
+            },
+        );
+        tr.record(
+            t(20),
+            1,
+            TraceKind::Interrupt,
+            TraceData::Irq {
+                core: 0,
+                start_ns: 20,
+                woken: false,
+            },
+        );
         assert_eq!(tr.len(), 2);
         let rendered = tr.render();
         assert!(rendered.contains("FrameArrival"));
@@ -170,13 +486,29 @@ mod tests {
     fn ring_buffer_evicts_oldest() {
         let mut tr = Tracer::new(3);
         for i in 0..5 {
-            tr.record(t(i), 0, TraceKind::DmaComplete, format!("{i}"));
+            tr.record(t(i), 0, TraceKind::DmaComplete, TraceData::Desc { desc: i });
         }
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.evicted(), 2);
         let first = tr.events().next().unwrap();
-        assert_eq!(first.detail, "2");
+        assert_eq!(first.data, TraceData::Desc { desc: 2 });
         assert!(tr.render().contains("2 earlier events evicted"));
+    }
+
+    #[test]
+    fn capacity_is_honored_exactly() {
+        for cap in [1usize, 5, 4096, 5000] {
+            let tr = Tracer::new(cap);
+            assert_eq!(tr.capacity(), cap);
+            let mut tr = tr;
+            for i in 0..(cap as u64 + 10) {
+                tr.record(t(i), 0, TraceKind::Transmit, TraceData::None);
+            }
+            assert_eq!(tr.len(), cap, "ring holds exactly the requested capacity");
+            assert_eq!(tr.evicted(), 10);
+        }
+        // Degenerate request still yields a usable tracer.
+        assert_eq!(Tracer::new(0).capacity(), 1);
     }
 
     #[test]
@@ -222,5 +554,33 @@ mod tests {
         let tr = Tracer::new(8);
         assert!(tr.is_empty());
         assert_eq!(tr.render(), "");
+        assert_eq!(tr.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_object_per_event() {
+        let mut tr = Tracer::new(8);
+        tr.record(
+            t(5),
+            0,
+            TraceKind::Transmit,
+            TraceData::Packet {
+                pkt: small_pkt(3, true),
+                desc: None,
+            },
+        );
+        tr.record(t(9), 1, TraceKind::Drop, TraceData::Text("ring full"));
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).expect("line parses");
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("transmit"));
+        assert_eq!(first.get("msg").and_then(Json::as_u64), Some(3));
+        assert_eq!(first.get("marked").and_then(Json::as_bool), Some(true));
+        let second = Json::parse(lines[1]).expect("line parses");
+        assert_eq!(
+            second.get("label").and_then(Json::as_str),
+            Some("ring full")
+        );
     }
 }

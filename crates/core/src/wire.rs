@@ -15,8 +15,7 @@
 //! [`Packet::decode`]) so the wire format is testable; the simulator itself
 //! moves typed packets and only uses [`Packet::wire_len`].
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use crate::bytebuf::{Bytes, BytesMut};
 
 /// Maximum payload of a Small (single-packet eager) message.
 pub const SMALL_MAX: u32 = 128;
@@ -33,11 +32,11 @@ pub const OMX_HEADER_BYTES: u32 = 32;
 pub const ETH_HEADER_BYTES: u32 = 14;
 
 /// Identifies a node (host) in the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
 
 /// Identifies an endpoint (application attach point) on a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EndpointAddr {
     /// Owning node.
     pub node: NodeId,
@@ -56,11 +55,11 @@ impl EndpointAddr {
 }
 
 /// Per-sender message identifier (unique within a source endpoint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MsgId(pub u64);
 
 /// The Open-MX packet header (the part the NIC firmware may inspect).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OmxHeader {
     /// Source endpoint.
     pub src: EndpointAddr,
@@ -77,7 +76,7 @@ pub struct OmxHeader {
 }
 
 /// Packet body: one variant per wire format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// Small eager message (full payload in one packet).
     Small {
@@ -153,7 +152,7 @@ pub enum PacketKind {
 }
 
 /// A full packet: header + body.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Open-MX header.
     pub hdr: OmxHeader,

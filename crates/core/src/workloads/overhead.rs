@@ -16,11 +16,10 @@
 use crate::system::{Actor, ActorCtx, Cluster};
 use crate::wire::NodeId;
 use omx_sim::{StopCondition, Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Overhead-benchmark parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OverheadSpec {
     /// Number of invalid frames to stream.
     pub packets: u32,
@@ -41,7 +40,7 @@ impl Default for OverheadSpec {
 }
 
 /// Overhead-benchmark results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadReport {
     /// Receiver host busy time divided by received packets, nanoseconds.
     pub per_packet_ns: f64,
@@ -99,7 +98,11 @@ impl Cluster {
         assert!(self.config().nodes >= 2, "overhead bench needs two nodes");
         self.add_actor(0, 0, Box::new(OverheadSource::new(NodeId(1), spec)));
         let stop = self.run(Time::from_secs(3_600));
-        assert_eq!(stop, StopCondition::PredicateSatisfied, "source stops the sim");
+        assert_eq!(
+            stop,
+            StopCondition::PredicateSatisfied,
+            "source stops the sim"
+        );
         // Drain the trailing packets: run a little past the stop.
         let _ = stop;
         let m = self.metrics();

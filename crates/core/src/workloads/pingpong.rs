@@ -9,11 +9,10 @@ use crate::system::{Actor, ActorCtx, Cluster, RecvCompletion};
 use crate::wire::EndpointAddr;
 use omx_sim::stats::OnlineStats;
 use omx_sim::{StopCondition, Time};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Ping-pong parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PingPongSpec {
     /// Message length in bytes (both directions).
     pub msg_len: u32,
@@ -34,7 +33,7 @@ impl Default for PingPongSpec {
 }
 
 /// Ping-pong results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PingPongReport {
     /// Mean half round-trip time in nanoseconds (the paper's transfer time).
     pub half_rtt_ns: u64,
@@ -156,16 +155,18 @@ impl Cluster {
             0,
             Box::new(PingActor::new(EndpointAddr::new(1, 0), spec)),
         );
-        self.add_actor(1, 0, Box::new(PongActor::new(EndpointAddr::new(0, 0), spec.msg_len)));
+        self.add_actor(
+            1,
+            0,
+            Box::new(PongActor::new(EndpointAddr::new(0, 0), spec.msg_len)),
+        );
         let stop = self.run(Time::from_secs(3_600));
         assert_eq!(
             stop,
             StopCondition::PredicateSatisfied,
             "ping-pong must complete (stopped: {stop:?})"
         );
-        let ping = self
-            .actor::<PingActor>(0, 0)
-            .expect("ping actor present");
+        let ping = self.actor::<PingActor>(0, 0).expect("ping actor present");
         let stats = ping.stats().clone();
         let interrupts = self.total_interrupts();
         let iters = (spec.iterations + spec.warmup) as f64;

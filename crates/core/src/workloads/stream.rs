@@ -10,11 +10,10 @@
 use crate::system::{Actor, ActorCtx, Cluster, RecvCompletion};
 use crate::wire::EndpointAddr;
 use omx_sim::{StopCondition, Time};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Stream parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StreamSpec {
     /// Message length in bytes (0 allowed: header-only messages).
     pub msg_len: u32,
@@ -35,7 +34,7 @@ impl Default for StreamSpec {
 }
 
 /// Stream results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamReport {
     /// Receiver-side completion rate, messages per second.
     pub msgs_per_sec: f64,
@@ -87,7 +86,6 @@ impl StreamSender {
             self.posted += 1;
         }
     }
-
 }
 
 impl Actor for StreamSender {

@@ -10,11 +10,10 @@
 use crate::system::{Actor, ActorCtx, Cluster, RecvCompletion};
 use crate::wire::EndpointAddr;
 use omx_sim::{StopCondition, Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 
 /// Transfer-benchmark parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TransferSpec {
     /// Message size in bytes.
     pub msg_len: u32,
@@ -35,7 +34,7 @@ impl Default for TransferSpec {
 }
 
 /// Transfer-benchmark results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TransferReport {
     /// Mean transfer time (send post → receive completion), nanoseconds.
     pub transfer_ns: f64,
@@ -95,7 +94,10 @@ impl Actor for TransferSender {
         if self.iter >= self.spec.repeats {
             ctx.stop();
         } else {
-            ctx.set_timer(ctx.now() + TimeDelta::from_nanos(self.spec.gap_ns as i64), 0);
+            ctx.set_timer(
+                ctx.now() + TimeDelta::from_nanos(self.spec.gap_ns as i64),
+                0,
+            );
         }
     }
 

@@ -1,10 +1,13 @@
 //! Property tests for the driver protocol: delivery is exact under
 //! arbitrary message sizes, packet reordering, and drop patterns.
+//!
+//! Randomised with the simulator's deterministic [`SimRng`] (fixed seeds, so
+//! failures reproduce exactly) instead of an external property-test harness.
 
 use omx_core::proto::{DriverAction, NodeDriver, ProtoConfig};
 use omx_core::wire::{EndpointAddr, Packet};
+use omx_sim::rng::SimRng;
 use omx_sim::{Time, TimeDelta};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// Drive two drivers to quiescence with an adversarial network: packets are
@@ -61,7 +64,9 @@ fn converge(
             continue;
         }
         // Pseudo-random pick from the wire (adversarial reordering).
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (rng >> 33) as usize % wire.len();
         let pkt = wire.remove(idx).expect("index in range");
         now += TimeDelta::from_micros(1);
@@ -91,23 +96,29 @@ fn recv_completions(actions: &[DriverAction]) -> Vec<(u64, u32)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any mix of message sizes delivers exactly once, regardless of wire
-    /// interleaving.
-    #[test]
-    fn exact_delivery_under_reordering(
-        lens in prop::collection::vec(0u32..300_000, 1..6),
-        order_seed in any::<u64>(),
-    ) {
+/// Any mix of message sizes delivers exactly once, regardless of wire
+/// interleaving.
+#[test]
+fn exact_delivery_under_reordering() {
+    let mut rng = SimRng::new(0x5EED_2001);
+    for _case in 0..64 {
+        let n = rng.range_u64(1, 6) as usize;
+        let lens: Vec<u32> = (0..n).map(|_| rng.range_u64(0, 300_000) as u32).collect();
+        let order_seed = rng.next_u64();
         let cfg = ProtoConfig::default();
         let mut a = NodeDriver::new(0, 1, cfg);
         let mut b = NodeDriver::new(1, 1, cfg);
         let mut initial = Vec::new();
         for (i, &len) in lens.iter().enumerate() {
             b.post_recv(Time::from_micros(1), 0, i as u64, !0, 1_000 + i as u64);
-            for act in a.post_send(Time::from_micros(1), 0, EndpointAddr::new(1, 0), len, i as u64, i as u64) {
+            for act in a.post_send(
+                Time::from_micros(1),
+                0,
+                EndpointAddr::new(1, 0),
+                len,
+                i as u64,
+                i as u64,
+            ) {
                 if let DriverAction::Transmit(p) = act {
                     initial.push(p);
                 }
@@ -116,19 +127,26 @@ proptest! {
         let (_, out_b) = converge(&mut a, &mut b, initial, order_seed, &[]);
         let mut got = recv_completions(&out_b);
         got.sort_unstable();
-        let mut expect: Vec<(u64, u32)> = lens.iter().enumerate().map(|(i, &l)| (1_000 + i as u64, l)).collect();
+        let mut expect: Vec<(u64, u32)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (1_000 + i as u64, l))
+            .collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Dropping arbitrary first-transmission packets still yields exact
-    /// delivery via retransmission (eager) or block re-request (pull).
-    #[test]
-    fn exact_delivery_under_drops(
-        len in 0u32..200_000,
-        order_seed in any::<u64>(),
-        drop_mask in prop::collection::vec(any::<bool>(), 0..400),
-    ) {
+/// Dropping arbitrary first-transmission packets still yields exact
+/// delivery via retransmission (eager) or block re-request (pull).
+#[test]
+fn exact_delivery_under_drops() {
+    let mut rng = SimRng::new(0x5EED_2002);
+    for _case in 0..64 {
+        let len = rng.range_u64(0, 200_000) as u32;
+        let order_seed = rng.next_u64();
+        let mask_len = rng.range_u64(0, 400) as usize;
+        let drop_mask: Vec<bool> = (0..mask_len).map(|_| rng.chance(0.5)).collect();
         let cfg = ProtoConfig {
             rto_ns: 5_000_000,
             ..ProtoConfig::default()
@@ -144,17 +162,20 @@ proptest! {
         }
         let (_, out_b) = converge(&mut a, &mut b, initial, order_seed, &drop_mask);
         let got = recv_completions(&out_b);
-        prop_assert_eq!(got, vec![(99u64, len)]);
+        assert_eq!(got, vec![(99u64, len)]);
     }
+}
 
-    /// Large-message senders always learn about completion (notify arrives,
-    /// possibly retransmitted).
-    #[test]
-    fn sender_always_completes(
-        len in 32_769u32..150_000,
-        order_seed in any::<u64>(),
-        drop_mask in prop::collection::vec(any::<bool>(), 0..200),
-    ) {
+/// Large-message senders always learn about completion (notify arrives,
+/// possibly retransmitted).
+#[test]
+fn sender_always_completes() {
+    let mut rng = SimRng::new(0x5EED_2003);
+    for _case in 0..64 {
+        let len = rng.range_u64(32_769, 150_000) as u32;
+        let order_seed = rng.next_u64();
+        let mask_len = rng.range_u64(0, 200) as usize;
+        let drop_mask: Vec<bool> = (0..mask_len).map(|_| rng.chance(0.5)).collect();
         let cfg = ProtoConfig {
             rto_ns: 5_000_000,
             ..ProtoConfig::default()
@@ -169,8 +190,10 @@ proptest! {
             }
         }
         let (out_a, _) = converge(&mut a, &mut b, initial, order_seed, &drop_mask);
-        prop_assert!(
-            out_a.iter().any(|x| matches!(x, DriverAction::SendComplete { handle: 42, .. })),
+        assert!(
+            out_a
+                .iter()
+                .any(|x| matches!(x, DriverAction::SendComplete { handle: 42, .. })),
             "sender never completed"
         );
     }

@@ -1,129 +1,150 @@
 //! Property tests for the wire codec and the fragmentation arithmetic.
+//!
+//! Randomised with the simulator's deterministic [`SimRng`] (fixed seeds, so
+//! failures reproduce exactly) instead of an external property-test harness.
 
 use omx_core::marking::MarkingPolicy;
 use omx_core::wire::{
     frag_count, medium_frag_payload, pull_block_count, pull_frame_count, pull_frame_payload,
     EndpointAddr, MsgId, OmxHeader, Packet, PacketKind, PULL_BLOCK_FRAMES,
 };
-use proptest::prelude::*;
+use omx_sim::rng::SimRng;
 
-fn arb_header() -> impl Strategy<Value = OmxHeader> {
-    (
-        any::<u16>(),
-        any::<u8>(),
-        any::<u16>(),
-        any::<u8>(),
-        any::<bool>(),
-        any::<u64>(),
-        any::<u64>(),
-    )
-        .prop_map(|(sn, se, dn, de, m, seq, ack)| OmxHeader {
-            src: EndpointAddr::new(sn, se),
-            dst: EndpointAddr::new(dn, de),
-            latency_sensitive: m,
-            seq,
-            ack,
-        })
-}
-
-fn arb_kind() -> impl Strategy<Value = PacketKind> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>(), 0u32..=128).prop_map(|(m, mi, len)| PacketKind::Small {
-            msg: MsgId(m),
-            match_info: mi,
-            len
-        }),
-        (any::<u64>(), any::<u64>(), 0u32..64, 1u32..64, 0u32..1500, any::<u32>()).prop_map(
-            |(m, mi, frag, count, flen, total)| PacketKind::MediumFrag {
-                msg: MsgId(m),
-                match_info: mi,
-                frag: frag % count,
-                frag_count: count,
-                frag_len: flen,
-                total_len: total,
-            }
-        ),
-        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(m, mi, len)| {
-            PacketKind::Rendezvous {
-                msg: MsgId(m),
-                match_info: mi,
-                total_len: len,
-            }
-        }),
-        (any::<u64>(), any::<u32>(), 1u32..=32).prop_map(|(m, b, fc)| PacketKind::PullRequest {
-            msg: MsgId(m),
-            block: b,
-            frame_count: fc
-        }),
-        (any::<u64>(), any::<u32>(), 0u32..32, 0u32..1500, any::<bool>()).prop_map(
-            |(m, b, f, l, last)| PacketKind::PullReply {
-                msg: MsgId(m),
-                block: b,
-                frame: f,
-                frame_len: l,
-                last_of_block: last,
-            }
-        ),
-        any::<u64>().prop_map(|m| PacketKind::Notify { msg: MsgId(m) }),
-        any::<u64>().prop_map(|s| PacketKind::Ack { cumulative_seq: s }),
-        (0u32..1500).prop_map(|len| PacketKind::TcpSegment { len }),
-    ]
-}
-
-proptest! {
-    /// Encode/decode is the identity for every representable packet.
-    #[test]
-    fn codec_roundtrip(hdr in arb_header(), kind in arb_kind()) {
-        let pkt = Packet { hdr, kind };
-        let decoded = Packet::decode(pkt.encode()).expect("decode");
-        prop_assert_eq!(decoded, pkt);
+fn arb_header(rng: &mut SimRng) -> OmxHeader {
+    OmxHeader {
+        src: EndpointAddr::new(rng.next_u64() as u16, rng.next_u64() as u8),
+        dst: EndpointAddr::new(rng.next_u64() as u16, rng.next_u64() as u8),
+        latency_sensitive: rng.chance(0.5),
+        seq: rng.next_u64(),
+        ack: rng.next_u64(),
     }
+}
 
-    /// Truncating an encoded packet anywhere yields an error, never a panic
-    /// or a silently wrong packet.
-    #[test]
-    fn codec_rejects_truncation(hdr in arb_header(), kind in arb_kind(), cut_frac in 0.0f64..1.0) {
-        let pkt = Packet { hdr, kind };
+fn arb_kind(rng: &mut SimRng) -> PacketKind {
+    match rng.range_u64(0, 8) {
+        0 => PacketKind::Small {
+            msg: MsgId(rng.next_u64()),
+            match_info: rng.next_u64(),
+            len: rng.range_u64(0, 129) as u32,
+        },
+        1 => {
+            let count = rng.range_u64(1, 64) as u32;
+            PacketKind::MediumFrag {
+                msg: MsgId(rng.next_u64()),
+                match_info: rng.next_u64(),
+                frag: rng.range_u64(0, 64) as u32 % count,
+                frag_count: count,
+                frag_len: rng.range_u64(0, 1500) as u32,
+                total_len: rng.next_u64() as u32,
+            }
+        }
+        2 => PacketKind::Rendezvous {
+            msg: MsgId(rng.next_u64()),
+            match_info: rng.next_u64(),
+            total_len: rng.next_u64() as u32,
+        },
+        3 => PacketKind::PullRequest {
+            msg: MsgId(rng.next_u64()),
+            block: rng.next_u64() as u32,
+            frame_count: rng.range_u64(1, 33) as u32,
+        },
+        4 => PacketKind::PullReply {
+            msg: MsgId(rng.next_u64()),
+            block: rng.next_u64() as u32,
+            frame: rng.range_u64(0, 32) as u32,
+            frame_len: rng.range_u64(0, 1500) as u32,
+            last_of_block: rng.chance(0.5),
+        },
+        5 => PacketKind::Notify {
+            msg: MsgId(rng.next_u64()),
+        },
+        6 => PacketKind::Ack {
+            cumulative_seq: rng.next_u64(),
+        },
+        _ => PacketKind::TcpSegment {
+            len: rng.range_u64(0, 1500) as u32,
+        },
+    }
+}
+
+/// Encode/decode is the identity for every representable packet.
+#[test]
+fn codec_roundtrip() {
+    let mut rng = SimRng::new(0x5EED_3001);
+    for _case in 0..512 {
+        let pkt = Packet {
+            hdr: arb_header(&mut rng),
+            kind: arb_kind(&mut rng),
+        };
+        let decoded = Packet::decode(pkt.encode()).expect("decode");
+        assert_eq!(decoded, pkt);
+    }
+}
+
+/// Truncating an encoded packet anywhere yields an error, never a panic
+/// or a silently wrong packet.
+#[test]
+fn codec_rejects_truncation() {
+    let mut rng = SimRng::new(0x5EED_3002);
+    for _case in 0..512 {
+        let pkt = Packet {
+            hdr: arb_header(&mut rng),
+            kind: arb_kind(&mut rng),
+        };
         let bytes = pkt.encode();
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = ((bytes.len() as f64) * rng.unit()) as usize;
         if cut < bytes.len() {
-            prop_assert!(Packet::decode(bytes.slice(0..cut)).is_err());
+            assert!(Packet::decode(bytes.slice(0..cut)).is_err());
         }
     }
+}
 
-    /// Fragment arithmetic: counts × payloads always cover the message with
-    /// the last fragment holding the (nonzero) remainder.
-    #[test]
-    fn fragmentation_covers_message(len in 0u32..32 * 1024, mtu in 576u32..9000) {
+/// Fragment arithmetic: counts × payloads always cover the message with
+/// the last fragment holding the (nonzero) remainder.
+#[test]
+fn fragmentation_covers_message() {
+    let mut rng = SimRng::new(0x5EED_3003);
+    for _case in 0..512 {
+        let len = rng.range_u64(0, 32 * 1024) as u32;
+        let mtu = rng.range_u64(576, 9000) as u32;
         let count = frag_count(len, mtu);
         let per = medium_frag_payload(mtu);
-        prop_assert!(count >= 1);
-        prop_assert!(per * (count - 1) < len.max(1));
-        prop_assert!(per * count >= len);
+        assert!(count >= 1);
+        assert!(per * (count - 1) < len.max(1));
+        assert!(per * count >= len);
     }
+}
 
-    /// Pull geometry: frames cover the message; blocks cover the frames.
-    #[test]
-    fn pull_geometry_consistent(len in 1u32..16 * 1024 * 1024, mtu in 576u32..9000) {
+/// Pull geometry: frames cover the message; blocks cover the frames.
+#[test]
+fn pull_geometry_consistent() {
+    let mut rng = SimRng::new(0x5EED_3004);
+    for _case in 0..512 {
+        let len = rng.range_u64(1, 16 * 1024 * 1024) as u32;
+        let mtu = rng.range_u64(576, 9000) as u32;
         let frames = pull_frame_count(len, mtu);
         let blocks = pull_block_count(len, mtu);
-        prop_assert!(pull_frame_payload(mtu) * frames >= len);
-        prop_assert!(pull_frame_payload(mtu) * (frames - 1) < len);
-        prop_assert_eq!(blocks, frames.div_ceil(PULL_BLOCK_FRAMES));
+        assert!(pull_frame_payload(mtu) * frames >= len);
+        assert!(pull_frame_payload(mtu) * (frames - 1) < len);
+        assert_eq!(blocks, frames.div_ceil(PULL_BLOCK_FRAMES));
     }
+}
 
-    /// Marking is deterministic and only ever sets the flag for the classes
-    /// the policy enables.
-    #[test]
-    fn marking_respects_policy(kind in arb_kind()) {
+/// Marking is deterministic and only ever sets the flag for the classes
+/// the policy enables.
+#[test]
+fn marking_respects_policy() {
+    let mut rng = SimRng::new(0x5EED_3005);
+    for _case in 0..512 {
+        let kind = arb_kind(&mut rng);
         let all = MarkingPolicy::all();
         let none = MarkingPolicy::none();
-        prop_assert!(!none.should_mark(&kind));
+        assert!(!none.should_mark(&kind));
         // Acks and TCP are never marked even by the full policy.
         if matches!(kind, PacketKind::Ack { .. } | PacketKind::TcpSegment { .. }) {
-            prop_assert!(!all.should_mark(&kind));
+            assert!(!all.should_mark(&kind));
         }
         // Determinism.
-        prop_assert_eq!(all.should_mark(&kind), all.should_mark(&kind));
+        assert_eq!(all.should_mark(&kind), all.should_mark(&kind));
     }
 }

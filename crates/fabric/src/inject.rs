@@ -8,10 +8,9 @@
 //! retransmission path.
 
 use omx_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the fabric disturbance injector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DisturbanceConfig {
     /// Probability that a frame receives extra delay.
     pub delay_probability: f64,

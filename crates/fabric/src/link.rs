@@ -7,10 +7,9 @@
 //! store-and-forward pipeline of the real testbed).
 
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Static link parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkConfig {
     /// Line rate in bits per second (Myri-10G: 10 Gbit/s).
     pub bandwidth_bps: u64,
@@ -64,7 +63,11 @@ impl PortClock {
     /// Reserve the port for one frame of `frame_bytes` starting no earlier
     /// than `now`. Returns `(start, end_of_serialization)`.
     pub fn reserve(&mut self, now: Time, cfg: &LinkConfig, frame_bytes: u32) -> (Time, Time) {
-        let start = if self.next_free > now { self.next_free } else { now };
+        let start = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
         let end = start + cfg.serialization(frame_bytes);
         self.next_free = end;
         (start, end)

@@ -16,14 +16,13 @@ use crate::inject::{Disturbance, DisturbanceConfig, Injector};
 use crate::link::{LinkConfig, PortClock};
 use omx_sim::rng::SimRng;
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one host port on the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub usize);
 
 /// Fabric-wide configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// Link characteristics (same for every hop; the testbed was homogeneous).
     pub link: LinkConfig,
@@ -225,7 +224,11 @@ mod tests {
         let t0 = Time::ZERO;
         let fwd = arrives(f.transmit(t0, PortId(0), PortId(1), 1500));
         let rev = arrives(f.transmit(t0, PortId(1), PortId(0), 1500));
-        assert_eq!(fwd - t0, rev - t0, "full duplex: directions do not interact");
+        assert_eq!(
+            fwd - t0,
+            rev - t0,
+            "full duplex: directions do not interact"
+        );
     }
 
     #[test]
@@ -287,8 +290,7 @@ mod tests {
         let mut f = EthernetFabric::new(2, cfg, SimRng::new(7));
         let mut arrivals = Vec::new();
         for _ in 0..64 {
-            if let TransmitOutcome::Arrives(t) =
-                f.transmit(Time::ZERO, PortId(0), PortId(1), 1500)
+            if let TransmitOutcome::Arrives(t) = f.transmit(Time::ZERO, PortId(0), PortId(1), 1500)
             {
                 arrivals.push(t);
             }

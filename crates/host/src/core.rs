@@ -10,15 +10,14 @@
 use crate::cache::CacheTracker;
 use crate::costs::CostModel;
 use crate::routing::IrqRouting;
-use omx_sim::stats::Counter;
+use omx_sim::stats::{Counter, Histogram};
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// Index of a core within one host.
 pub type CoreId = usize;
 
 /// Static host configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HostConfig {
     /// Number of cores (the paper's nodes have 2 × quad-core = 8).
     pub cores: usize,
@@ -79,7 +78,7 @@ pub struct IrqService {
 }
 
 /// Monotonic host counters.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct HostCounters {
     /// Interrupts serviced by this host.
     pub irqs: Counter,
@@ -89,7 +88,25 @@ pub struct HostCounters {
     pub irq_busy_ns: Counter,
     /// Cache-line bounce count (from the tracker, mirrored for convenience).
     pub cache_bounces: Counter,
+    /// Per-interrupt handler occupancy, nanoseconds (distribution of the
+    /// same time `irq_busy_ns` accumulates).
+    pub irq_service_ns: Histogram,
 }
+
+omx_sim::impl_to_json!(HostCounters {
+    irqs,
+    wakeups,
+    irq_busy_ns,
+    cache_bounces,
+    irq_service_ns,
+});
+omx_sim::impl_from_json!(HostCounters {
+    irqs,
+    wakeups,
+    irq_busy_ns,
+    cache_bounces,
+    irq_service_ns,
+});
 
 /// One simulated node.
 pub struct Host {
@@ -179,6 +196,7 @@ impl Host {
         c.irq_busy_total_ns += dur_ns;
         c.last_activity = c.last_activity.max(end);
         self.counters.irq_busy_ns.add(dur_ns);
+        self.counters.irq_service_ns.record(dur_ns);
         end
     }
 

@@ -18,11 +18,9 @@
 //!   the sleep/wakeup penalty,
 //! * C1E exit takes "several microseconds" (§IV-B1) — `wakeup_ns`.
 
-use serde::{Deserialize, Serialize};
-
 /// Every host-side timing constant of the simulation, in nanoseconds unless
 /// stated otherwise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     // -- interrupt path ------------------------------------------------------
     /// Hardware + software interrupt dispatch (vector, context save/restore,

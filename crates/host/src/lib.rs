@@ -10,7 +10,7 @@
 //!   structures: processing related packets on different cores causes
 //!   cache-line bounces with a per-access penalty (§III-B, §IV-B2).
 //! * [`costs`] — the [`costs::CostModel`]: every nanosecond constant of the
-//!   receive path in one serde-serialisable struct, calibrated against the
+//!   receive path in one plain-data struct, calibrated against the
 //!   paper's measured anchors (965 → 774 ns per-packet overhead, ~10 µs
 //!   small-message latency, 490k msg/s peak rate).
 //!

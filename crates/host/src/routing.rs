@@ -5,10 +5,8 @@
 //! core (Fig. 4 and §IV-B2). The future-work multiqueue idea (§VI) hashes a
 //! flow identifier to a fixed core per communication channel.
 
-use serde::{Deserialize, Serialize};
-
 /// How MSI interrupts are steered to cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IrqRouting {
     /// Scatter across all cores in round-robin order (chipset default).
     RoundRobin,

@@ -42,7 +42,10 @@ fn log2_ceil(p: usize) -> u32 {
 /// (the recursive-doubling variant; equivalent round count to dissemination
 /// for the power-of-two worlds the paper uses).
 pub fn barrier_round(rank: usize, ranks: usize, round: u32) -> Option<RoundAction> {
-    assert!(ranks.is_power_of_two(), "barrier needs a power-of-two world");
+    assert!(
+        ranks.is_power_of_two(),
+        "barrier needs a power-of-two world"
+    );
     if ranks == 1 || round >= log2_ceil(ranks) {
         return None;
     }
@@ -122,7 +125,10 @@ pub fn reduce_round(
 
 /// Recursive-doubling allreduce (power-of-two rank counts).
 pub fn allreduce_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(ranks.is_power_of_two(), "allreduce needs a power-of-two world");
+    assert!(
+        ranks.is_power_of_two(),
+        "allreduce needs a power-of-two world"
+    );
     if round >= log2_ceil(ranks) {
         return None;
     }
@@ -136,7 +142,10 @@ pub fn allreduce_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Opt
 
 /// Recursive-doubling allgather: exchanged volume doubles each round.
 pub fn allgather_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(ranks.is_power_of_two(), "allgather needs a power-of-two world");
+    assert!(
+        ranks.is_power_of_two(),
+        "allgather needs a power-of-two world"
+    );
     if round >= log2_ceil(ranks) {
         return None;
     }
@@ -151,7 +160,10 @@ pub fn allgather_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Opt
 
 /// Pairwise-exchange alltoall: round `k ≥ 1` exchanges with `rank ^ k`.
 pub fn alltoall_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(ranks.is_power_of_two(), "alltoall needs a power-of-two world");
+    assert!(
+        ranks.is_power_of_two(),
+        "alltoall needs a power-of-two world"
+    );
     let r = round as usize + 1;
     if r >= ranks {
         return None;
@@ -171,7 +183,10 @@ pub fn alltoallv_round(
     bytes: &[u32],
     round: u32,
 ) -> Option<RoundAction> {
-    assert!(ranks.is_power_of_two(), "alltoallv needs a power-of-two world");
+    assert!(
+        ranks.is_power_of_two(),
+        "alltoallv needs a power-of-two world"
+    );
     assert_eq!(bytes.len(), ranks, "one size per destination");
     let r = round as usize + 1;
     if r >= ranks {
@@ -280,8 +295,7 @@ mod tests {
         let ranks = 16;
         for round in 0..4 {
             for r in 0..ranks {
-                let Some(RoundAction::Exchange { peer, .. }) =
-                    allreduce_round(r, ranks, 8, round)
+                let Some(RoundAction::Exchange { peer, .. }) = allreduce_round(r, ranks, 8, round)
                 else {
                     panic!("round exists");
                 };
@@ -302,8 +316,7 @@ mod tests {
         for r in 0..ranks {
             let mut seen = HashSet::new();
             let mut round = 0;
-            while let Some(RoundAction::Exchange { peer, .. }) =
-                alltoall_round(r, ranks, 1, round)
+            while let Some(RoundAction::Exchange { peer, .. }) = alltoall_round(r, ranks, 1, round)
             {
                 assert!(seen.insert(peer));
                 assert_ne!(peer, r);

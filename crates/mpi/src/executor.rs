@@ -32,7 +32,10 @@ fn coll_match(seq: u64, round: u32, src: usize) -> u64 {
 enum Wait {
     None,
     /// Waiting for send and/or receive completions of the current step.
-    Pending { sends: u8, recvs: u8 },
+    Pending {
+        sends: u8,
+        recvs: u8,
+    },
     /// Waiting for a compute timer.
     Compute,
 }
@@ -277,7 +280,11 @@ impl RankActor {
     }
 
     fn completion(&mut self, ctx: &mut ActorCtx, was_send: bool) {
-        let Wait::Pending { mut sends, mut recvs } = self.wait else {
+        let Wait::Pending {
+            mut sends,
+            mut recvs,
+        } = self.wait
+        else {
             panic!(
                 "rank {}: unexpected completion (send={was_send}) in state {:?}",
                 self.rank, self.wait

@@ -4,10 +4,8 @@
 //! in lockstep program order on every rank (collectives must appear at the
 //! same op index everywhere, like real MPI call sites).
 
-use serde::{Deserialize, Serialize};
-
 /// One step of a rank program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// Local computation for this many nanoseconds of *CPU time* — wall
     /// time extends when interrupt handlers steal the core.
@@ -161,10 +159,7 @@ mod tests {
     fn builder_repeats_blocks() {
         let prog = ProgramBuilder::new()
             .op(Op::Barrier)
-            .repeat(
-                3,
-                &[Op::Compute(5), Op::Allreduce { bytes: 8 }],
-            )
+            .repeat(3, &[Op::Compute(5), Op::Allreduce { bytes: 8 }])
             .build();
         assert_eq!(prog.len(), 7);
         assert_eq!(prog[1], Op::Compute(5));

@@ -6,13 +6,12 @@ use omx_core::metrics::ClusterMetrics;
 use omx_core::system::{Cluster, ClusterConfig};
 use omx_core::wire::EndpointAddr;
 use omx_sim::{StopCondition, Time};
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 /// Rank-to-node placement (block distribution, like the paper's
 /// `mpirun -np 16 --bynode=false` over 2 nodes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorldSpec {
     /// Total ranks.
     pub ranks: usize,
@@ -59,7 +58,7 @@ impl WorldSpec {
 }
 
 /// Result of one MPI job run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MpiRunReport {
     /// Job completion time (max over ranks), nanoseconds.
     pub elapsed_ns: u64,
@@ -125,8 +124,11 @@ impl MpiWorld {
         let done = Arc::new(AtomicUsize::new(0));
         for rank in 0..self.spec.ranks {
             let actor = RankActor::new(rank, self.spec, program(rank), Arc::clone(&done));
-            self.cluster
-                .add_actor(self.spec.node_of(rank), self.spec.ep_of(rank), Box::new(actor));
+            self.cluster.add_actor(
+                self.spec.node_of(rank),
+                self.spec.ep_of(rank),
+                Box::new(actor),
+            );
         }
         let stop = self.cluster.run(Time::from_secs(3_600));
         assert_eq!(
@@ -257,8 +259,8 @@ mod tests {
         // Inter-node pairs: ranks {0,1} x {2,3} = 8 directed pairs of 10 kB.
         // Intra-node traffic uses shared memory (not counted by the fabric).
         let inter = 8 * u64::from(bytes);
-        let carried = report.metrics.nodes[0].nic.packets.get()
-            + report.metrics.nodes[1].nic.packets.get();
+        let carried =
+            report.metrics.nodes[0].nic.packets.get() + report.metrics.nodes[1].nic.packets.get();
         assert!(carried > 0);
         let payload: u64 = report.metrics.frames_carried; // frames, not bytes
         assert!(payload >= inter / 1500, "too few frames: {payload}");

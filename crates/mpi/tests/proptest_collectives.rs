@@ -1,154 +1,204 @@
 //! Property tests for the collective round decompositions: conservation
 //! (every send has a matching receive in the same round) and termination.
+//!
+//! Randomised with the simulator's deterministic [`SimRng`] (fixed seeds, so
+//! failures reproduce exactly) instead of an external property-test harness.
 
 use omx_mpi::collectives::{
     allgather_round, allreduce_round, alltoall_round, alltoallv_round, barrier_round, bcast_round,
     reduce_round, RoundAction,
 };
-use proptest::prelude::*;
+use omx_sim::rng::SimRng;
 
-fn pow2_ranks() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32)]
-}
+const POW2_RANKS: [usize; 5] = [2, 4, 8, 16, 32];
 
 /// Check that, in every round, send/recv/exchange actions pair up exactly.
+/// Returns false once the collective has finished for everyone.
 fn assert_round_consistent(
     ranks: usize,
     round: u32,
     action_of: impl Fn(usize) -> Option<RoundAction>,
-) -> Result<bool, TestCaseError> {
+) -> bool {
     let actions: Vec<Option<RoundAction>> = (0..ranks).map(&action_of).collect();
     let any = actions.iter().any(|a| a.is_some());
     if !any {
-        return Ok(false); // collective finished for everyone
+        return false; // collective finished for everyone
     }
     for (r, action) in actions.iter().enumerate() {
         match action {
             None | Some(RoundAction::Idle) => {}
             Some(RoundAction::Exchange { peer, .. }) => {
-                prop_assert_ne!(*peer, r, "self-exchange");
+                assert_ne!(*peer, r, "self-exchange");
                 match actions[*peer] {
                     Some(RoundAction::Exchange { peer: back, .. }) => {
-                        prop_assert_eq!(back, r, "round {}: exchange not mutual", round)
+                        assert_eq!(back, r, "round {round}: exchange not mutual")
                     }
-                    ref other => prop_assert!(false, "partner of {} has {:?}", r, other),
+                    ref other => panic!("partner of {r} has {other:?}"),
                 }
             }
             Some(RoundAction::Send { peer, .. }) => match actions[*peer] {
                 Some(RoundAction::Recv { peer: from }) => {
-                    prop_assert_eq!(from, r, "round {}: recv source mismatch", round)
+                    assert_eq!(from, r, "round {round}: recv source mismatch")
                 }
-                ref other => prop_assert!(false, "send target of {} has {:?}", r, other),
+                ref other => panic!("send target of {r} has {other:?}"),
             },
             Some(RoundAction::Recv { peer }) => match actions[*peer] {
-                Some(RoundAction::Send { peer: to, .. }) => prop_assert_eq!(to, r),
-                ref other => prop_assert!(false, "recv source of {} has {:?}", r, other),
+                Some(RoundAction::Send { peer: to, .. }) => assert_eq!(to, r),
+                ref other => panic!("recv source of {r} has {other:?}"),
             },
         }
     }
-    Ok(true)
+    true
 }
 
-proptest! {
-    #[test]
-    fn barrier_rounds_pair_up(ranks in pow2_ranks()) {
+#[test]
+fn barrier_rounds_pair_up() {
+    for ranks in POW2_RANKS {
+        let mut terminated = false;
         for round in 0..16 {
-            if !assert_round_consistent(ranks, round, |r| barrier_round(r, ranks, round))? {
-                return Ok(());
+            if !assert_round_consistent(ranks, round, |r| barrier_round(r, ranks, round)) {
+                terminated = true;
+                break;
             }
         }
-        prop_assert!(false, "barrier never terminated");
+        assert!(terminated, "barrier never terminated for {ranks} ranks");
     }
+}
 
-    #[test]
-    fn bcast_rounds_pair_up(ranks in pow2_ranks(), root in 0usize..32) {
-        let root = root % ranks;
-        for round in 0..16 {
-            if !assert_round_consistent(ranks, round, |r| bcast_round(r, ranks, root, 64, round))? {
-                return Ok(());
-            }
-        }
-        prop_assert!(false, "bcast never terminated");
-    }
-
-    #[test]
-    fn reduce_rounds_pair_up(ranks in pow2_ranks(), root in 0usize..32) {
-        let root = root % ranks;
-        for round in 0..16 {
-            if !assert_round_consistent(ranks, round, |r| reduce_round(r, ranks, root, 64, round))? {
-                return Ok(());
-            }
-        }
-        prop_assert!(false, "reduce never terminated");
-    }
-
-    #[test]
-    fn allreduce_and_allgather_pair_up(ranks in pow2_ranks(), bytes in 1u32..1_000_000) {
-        for round in 0..16 {
-            if !assert_round_consistent(ranks, round, |r| allreduce_round(r, ranks, bytes, round))? {
-                return Ok(());
-            }
-        }
-        prop_assert!(false, "allreduce never terminated");
-    }
-
-    #[test]
-    fn allgather_total_volume_is_full_vector(ranks in pow2_ranks(), bytes in 1u32..10_000) {
-        // After all rounds, each rank has sent bytes * (ranks - 1) in total
-        // (its contribution forwarded along the doubling tree).
-        let mut sent = 0u64;
-        for round in 0..16 {
-            match allgather_round(0, ranks, bytes, round) {
-                Some(RoundAction::Exchange { send_bytes, .. }) => sent += u64::from(send_bytes),
-                None => break,
-                other => prop_assert!(false, "unexpected {other:?}"),
-            }
-        }
-        prop_assert_eq!(sent, u64::from(bytes) * (ranks as u64 - 1));
-    }
-
-    #[test]
-    fn alltoall_is_a_permutation_every_round(ranks in pow2_ranks(), bytes in 1u32..100_000) {
-        for round in 0..(ranks as u32 - 1) {
-            let mut seen = vec![false; ranks];
-            for r in 0..ranks {
-                let Some(RoundAction::Exchange { peer, .. }) = alltoall_round(r, ranks, bytes, round) else {
-                    prop_assert!(false, "round {round} missing for rank {r}");
-                    unreachable!()
-                };
-                prop_assert!(!seen[peer], "peer {peer} used twice in round {round}");
-                seen[peer] = true;
-            }
-            prop_assert!(seen.iter().all(|&s| s), "round {round} not a permutation");
-        }
-        prop_assert!(alltoall_round(0, ranks, bytes, ranks as u32 - 1).is_none());
-    }
-
-    #[test]
-    fn alltoallv_sends_each_destination_its_size(
-        ranks in pow2_ranks(),
-        seed in any::<u64>(),
-    ) {
-        // Deterministic pseudo-random per-destination sizes.
-        let sizes: Vec<u32> = (0..ranks)
-            .map(|i| ((seed >> (i % 48)) & 0xFFFF) as u32)
-            .collect();
-        let mut sent_to = vec![None::<u32>; ranks];
-        for round in 0..64 {
-            match alltoallv_round(0, ranks, &sizes, round) {
-                Some(RoundAction::Exchange { peer, send_bytes, .. }) => {
-                    prop_assert!(sent_to[peer].is_none(), "peer {peer} visited twice");
-                    sent_to[peer] = Some(send_bytes);
+#[test]
+fn bcast_rounds_pair_up() {
+    let mut rng = SimRng::new(0x5EED_4001);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let root = rng.range_u64(0, 32) as usize % ranks;
+            let mut terminated = false;
+            for round in 0..16 {
+                if !assert_round_consistent(ranks, round, |r| {
+                    bcast_round(r, ranks, root, 64, round)
+                }) {
+                    terminated = true;
+                    break;
                 }
-                None => break,
-                other => prop_assert!(false, "unexpected {other:?}"),
             }
+            assert!(terminated, "bcast never terminated for {ranks} ranks");
         }
-        for (peer, sent) in sent_to.iter().enumerate() {
-            if peer == 0 {
-                prop_assert!(sent.is_none(), "no self-send");
-            } else {
-                prop_assert_eq!(sent.expect("every peer visited"), sizes[peer]);
+    }
+}
+
+#[test]
+fn reduce_rounds_pair_up() {
+    let mut rng = SimRng::new(0x5EED_4002);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let root = rng.range_u64(0, 32) as usize % ranks;
+            let mut terminated = false;
+            for round in 0..16 {
+                if !assert_round_consistent(ranks, round, |r| {
+                    reduce_round(r, ranks, root, 64, round)
+                }) {
+                    terminated = true;
+                    break;
+                }
+            }
+            assert!(terminated, "reduce never terminated for {ranks} ranks");
+        }
+    }
+}
+
+#[test]
+fn allreduce_and_allgather_pair_up() {
+    let mut rng = SimRng::new(0x5EED_4003);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let bytes = rng.range_u64(1, 1_000_000) as u32;
+            let mut terminated = false;
+            for round in 0..16 {
+                if !assert_round_consistent(ranks, round, |r| {
+                    allreduce_round(r, ranks, bytes, round)
+                }) {
+                    terminated = true;
+                    break;
+                }
+            }
+            assert!(terminated, "allreduce never terminated for {ranks} ranks");
+        }
+    }
+}
+
+#[test]
+fn allgather_total_volume_is_full_vector() {
+    let mut rng = SimRng::new(0x5EED_4004);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let bytes = rng.range_u64(1, 10_000) as u32;
+            // After all rounds, each rank has sent bytes * (ranks - 1) in
+            // total (its contribution forwarded along the doubling tree).
+            let mut sent = 0u64;
+            for round in 0..16 {
+                match allgather_round(0, ranks, bytes, round) {
+                    Some(RoundAction::Exchange { send_bytes, .. }) => sent += u64::from(send_bytes),
+                    None => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(sent, u64::from(bytes) * (ranks as u64 - 1));
+        }
+    }
+}
+
+#[test]
+fn alltoall_is_a_permutation_every_round() {
+    let mut rng = SimRng::new(0x5EED_4005);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let bytes = rng.range_u64(1, 100_000) as u32;
+            for round in 0..(ranks as u32 - 1) {
+                let mut seen = vec![false; ranks];
+                for r in 0..ranks {
+                    let Some(RoundAction::Exchange { peer, .. }) =
+                        alltoall_round(r, ranks, bytes, round)
+                    else {
+                        panic!("round {round} missing for rank {r}");
+                    };
+                    assert!(!seen[peer], "peer {peer} used twice in round {round}");
+                    seen[peer] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "round {round} not a permutation");
+            }
+            assert!(alltoall_round(0, ranks, bytes, ranks as u32 - 1).is_none());
+        }
+    }
+}
+
+#[test]
+fn alltoallv_sends_each_destination_its_size() {
+    let mut rng = SimRng::new(0x5EED_4006);
+    for ranks in POW2_RANKS {
+        for _case in 0..8 {
+            let seed = rng.next_u64();
+            // Deterministic pseudo-random per-destination sizes.
+            let sizes: Vec<u32> = (0..ranks)
+                .map(|i| ((seed >> (i % 48)) & 0xFFFF) as u32)
+                .collect();
+            let mut sent_to = vec![None::<u32>; ranks];
+            for round in 0..64 {
+                match alltoallv_round(0, ranks, &sizes, round) {
+                    Some(RoundAction::Exchange {
+                        peer, send_bytes, ..
+                    }) => {
+                        assert!(sent_to[peer].is_none(), "peer {peer} visited twice");
+                        sent_to[peer] = Some(send_bytes);
+                    }
+                    None => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            for (peer, sent) in sent_to.iter().enumerate() {
+                if peer == 0 {
+                    assert!(sent.is_none(), "no self-send");
+                } else {
+                    assert_eq!(sent.expect("every peer visited"), sizes[peer]);
+                }
             }
         }
     }

@@ -55,7 +55,10 @@ mod tests {
         };
         let report = run_nas(spec, ClusterConfig::default()).expect("runnable");
         assert_eq!(report.per_rank_finish_ns.len(), 16);
-        assert!(report.metrics.frames_carried > 0, "IS moves data on the wire");
+        assert!(
+            report.metrics.frames_carried > 0,
+            "IS moves data on the wire"
+        );
     }
 
     #[test]

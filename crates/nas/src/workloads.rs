@@ -31,10 +31,9 @@
 //! nodes — matching the NPB topology's mix.
 
 use omx_mpi::ops::{Op, ProgramBuilder};
-use serde::{Deserialize, Serialize};
 
 /// The eight NPB kernels the paper runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NasBenchmark {
     /// Block-tridiagonal solver.
     Bt,
@@ -83,7 +82,7 @@ impl NasBenchmark {
 }
 
 /// Problem class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NasClass {
     /// Class B.
     B,
@@ -105,7 +104,7 @@ impl NasClass {
 }
 
 /// One benchmark × class combination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NasSpec {
     /// Kernel.
     pub benchmark: NasBenchmark,
@@ -139,31 +138,99 @@ fn shape(spec: NasSpec) -> Shape {
     use NasClass::*;
     match (spec.benchmark, spec.class) {
         // bt.C.16: 271.2 s over 200 iterations, ~2 % communication.
-        (Bt, C) => Shape { iters: 200, compute_ns: 1_345_000_000, bytes: 240 * 1024 },
-        (Bt, B) => Shape { iters: 200, compute_ns: 540_000_000, bytes: 120 * 1024 },
+        (Bt, C) => Shape {
+            iters: 200,
+            compute_ns: 1_345_000_000,
+            bytes: 240 * 1024,
+        },
+        (Bt, B) => Shape {
+            iters: 200,
+            compute_ns: 540_000_000,
+            bytes: 120 * 1024,
+        },
         // cg.C.16: 90.04 s over 75×25 inner steps.
-        (Cg, C) => Shape { iters: 1_875, compute_ns: 45_200_000, bytes: 300 * 1024 },
-        (Cg, B) => Shape { iters: 1_875, compute_ns: 20_000_000, bytes: 150 * 1024 },
+        (Cg, C) => Shape {
+            iters: 1_875,
+            compute_ns: 45_200_000,
+            bytes: 300 * 1024,
+        },
+        (Cg, B) => Shape {
+            iters: 1_875,
+            compute_ns: 20_000_000,
+            bytes: 150 * 1024,
+        },
         // ep.C.16: 31.30 s, one long compute.
-        (Ep, C) => Shape { iters: 1, compute_ns: 31_250_000_000, bytes: 64 },
-        (Ep, B) => Shape { iters: 1, compute_ns: 7_800_000_000, bytes: 64 },
+        (Ep, C) => Shape {
+            iters: 1,
+            compute_ns: 31_250_000_000,
+            bytes: 64,
+        },
+        (Ep, B) => Shape {
+            iters: 1,
+            compute_ns: 7_800_000_000,
+            bytes: 64,
+        },
         // ft.B.16: 24.24 s over 20 transposes.
-        (Ft, B) => Shape { iters: 20, compute_ns: 810_000_000, bytes: 2 * 1024 * 1024 },
-        (Ft, C) => Shape { iters: 20, compute_ns: 4_000_000_000, bytes: 8 * 1024 * 1024 },
+        (Ft, B) => Shape {
+            iters: 20,
+            compute_ns: 810_000_000,
+            bytes: 2 * 1024 * 1024,
+        },
+        (Ft, C) => Shape {
+            iters: 20,
+            compute_ns: 4_000_000_000,
+            bytes: 8 * 1024 * 1024,
+        },
         // is.C.16: 32.75 s over 10 rankings; is.B.16: 21.98 s.
-        (Is, C) => Shape { iters: 10, compute_ns: 2_890_000_000, bytes: 2 * 1024 * 1024 },
-        (Is, B) => Shape { iters: 10, compute_ns: 2_060_000_000, bytes: 512 * 1024 },
+        (Is, C) => Shape {
+            iters: 10,
+            compute_ns: 2_890_000_000,
+            bytes: 2 * 1024 * 1024,
+        },
+        (Is, B) => Shape {
+            iters: 10,
+            compute_ns: 2_060_000_000,
+            bytes: 512 * 1024,
+        },
         // lu.C.16: 203.8 s over 250 SSOR iterations.
-        (Lu, C) => Shape { iters: 250, compute_ns: 805_000_000, bytes: 20 * 1024 },
-        (Lu, B) => Shape { iters: 250, compute_ns: 330_000_000, bytes: 10 * 1024 },
+        (Lu, C) => Shape {
+            iters: 250,
+            compute_ns: 805_000_000,
+            bytes: 20 * 1024,
+        },
+        (Lu, B) => Shape {
+            iters: 250,
+            compute_ns: 330_000_000,
+            bytes: 10 * 1024,
+        },
         // mg.C.16: 43.91 s over 20 V-cycles.
-        (Mg, C) => Shape { iters: 20, compute_ns: 2_140_000_000, bytes: 512 * 1024 },
-        (Mg, B) => Shape { iters: 20, compute_ns: 950_000_000, bytes: 128 * 1024 },
+        (Mg, C) => Shape {
+            iters: 20,
+            compute_ns: 2_140_000_000,
+            bytes: 512 * 1024,
+        },
+        (Mg, B) => Shape {
+            iters: 20,
+            compute_ns: 950_000_000,
+            bytes: 128 * 1024,
+        },
         // sp.C.16: 549.1 s over 400 iterations.
-        (Sp, C) => Shape { iters: 400, compute_ns: 1_362_000_000, bytes: 120 * 1024 },
-        (Sp, B) => Shape { iters: 400, compute_ns: 550_000_000, bytes: 60 * 1024 },
+        (Sp, C) => Shape {
+            iters: 400,
+            compute_ns: 1_362_000_000,
+            bytes: 120 * 1024,
+        },
+        (Sp, B) => Shape {
+            iters: 400,
+            compute_ns: 550_000_000,
+            bytes: 60 * 1024,
+        },
         // Mini: fast smoke-test shape.
-        (_, Mini) => Shape { iters: 2, compute_ns: 100_000, bytes: 4 * 1024 },
+        (_, Mini) => Shape {
+            iters: 2,
+            compute_ns: 100_000,
+            bytes: 4 * 1024,
+        },
     }
 }
 
@@ -192,18 +259,23 @@ fn per_iteration_ops(benchmark: NasBenchmark, s: &Shape, rank: usize, ranks: usi
                 Op::Alltoallv { bytes: sizes },
             ]
         }
-        NasBenchmark::Ft => vec![
-            Op::Compute(s.compute_ns),
-            Op::Alltoall { bytes: s.bytes },
-        ],
+        NasBenchmark::Ft => vec![Op::Compute(s.compute_ns), Op::Alltoall { bytes: s.bytes }],
         NasBenchmark::Cg => vec![
             Op::Compute(s.compute_ns),
             // Reduce stage with the row partner (intra-node under block
             // placement), transpose with the cross-node partner (the 4x4
             // process grid keeps ~60 % of CG volume inside a node, so the
             // cross-node leg carries a reduced share).
-            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 1 },
-            Op::SendRecv { peer: x(8), bytes: s.bytes * 2 / 5, tag: 2 },
+            Op::SendRecv {
+                peer: x(4),
+                bytes: s.bytes,
+                tag: 1,
+            },
+            Op::SendRecv {
+                peer: x(8),
+                bytes: s.bytes * 2 / 5,
+                tag: 2,
+            },
             Op::Allreduce { bytes: 16 },
             Op::Allreduce { bytes: 16 },
         ],
@@ -216,10 +288,26 @@ fn per_iteration_ops(benchmark: NasBenchmark, s: &Shape, rank: usize, ranks: usi
         ],
         NasBenchmark::Lu => vec![
             Op::Compute(s.compute_ns),
-            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 1 },
-            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 2 },
-            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 3 },
-            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 4 },
+            Op::SendRecv {
+                peer: x(1),
+                bytes: s.bytes,
+                tag: 1,
+            },
+            Op::SendRecv {
+                peer: x(4),
+                bytes: s.bytes,
+                tag: 2,
+            },
+            Op::SendRecv {
+                peer: x(8),
+                bytes: s.bytes,
+                tag: 3,
+            },
+            Op::SendRecv {
+                peer: x(1),
+                bytes: s.bytes,
+                tag: 4,
+            },
         ],
         NasBenchmark::Mg => {
             let mut ops = vec![Op::Compute(s.compute_ns)];
@@ -238,12 +326,36 @@ fn per_iteration_ops(benchmark: NasBenchmark, s: &Shape, rank: usize, ranks: usi
         }
         NasBenchmark::Bt | NasBenchmark::Sp => vec![
             Op::Compute(s.compute_ns),
-            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 1 },
-            Op::SendRecv { peer: x(1), bytes: s.bytes, tag: 2 },
-            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 3 },
-            Op::SendRecv { peer: x(4), bytes: s.bytes, tag: 4 },
-            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 5 },
-            Op::SendRecv { peer: x(8), bytes: s.bytes, tag: 6 },
+            Op::SendRecv {
+                peer: x(1),
+                bytes: s.bytes,
+                tag: 1,
+            },
+            Op::SendRecv {
+                peer: x(1),
+                bytes: s.bytes,
+                tag: 2,
+            },
+            Op::SendRecv {
+                peer: x(4),
+                bytes: s.bytes,
+                tag: 3,
+            },
+            Op::SendRecv {
+                peer: x(4),
+                bytes: s.bytes,
+                tag: 4,
+            },
+            Op::SendRecv {
+                peer: x(8),
+                bytes: s.bytes,
+                tag: 5,
+            },
+            Op::SendRecv {
+                peer: x(8),
+                bytes: s.bytes,
+                tag: 6,
+            },
         ],
     }
 }
@@ -253,16 +365,46 @@ pub fn paper_table_rows() -> Vec<NasSpec> {
     use NasBenchmark::*;
     use NasClass::*;
     vec![
-        NasSpec { benchmark: Bt, class: C },
-        NasSpec { benchmark: Cg, class: C },
-        NasSpec { benchmark: Ep, class: C },
-        NasSpec { benchmark: Ft, class: C }, // reported "not enough memory"
-        NasSpec { benchmark: Ft, class: B },
-        NasSpec { benchmark: Is, class: C },
-        NasSpec { benchmark: Is, class: B },
-        NasSpec { benchmark: Lu, class: C },
-        NasSpec { benchmark: Mg, class: C },
-        NasSpec { benchmark: Sp, class: C },
+        NasSpec {
+            benchmark: Bt,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Cg,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Ep,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Ft,
+            class: C,
+        }, // reported "not enough memory"
+        NasSpec {
+            benchmark: Ft,
+            class: B,
+        },
+        NasSpec {
+            benchmark: Is,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Is,
+            class: B,
+        },
+        NasSpec {
+            benchmark: Lu,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Mg,
+            class: C,
+        },
+        NasSpec {
+            benchmark: Sp,
+            class: C,
+        },
     ]
 }
 

@@ -21,7 +21,6 @@
 
 use crate::packet::PacketMeta;
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 
 /// What to do with the NIC's coalescing timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,13 +276,7 @@ impl Coalescer for OpenMxCoalescing {
         self.fallback.on_packet_arrival(now, meta)
     }
 
-    fn on_dma_complete(
-        &mut self,
-        now: Time,
-        marked: bool,
-        pending: usize,
-        ready: u32,
-    ) -> Decision {
+    fn on_dma_complete(&mut self, now: Time, marked: bool, pending: usize, ready: u32) -> Decision {
         // Algorithm 1: "if Descriptor is Marked then Raise Interrupt".
         if marked {
             Decision::RAISE
@@ -345,13 +338,7 @@ impl Coalescer for StreamCoalescing {
         self.fallback.on_packet_arrival(now, meta)
     }
 
-    fn on_dma_complete(
-        &mut self,
-        now: Time,
-        marked: bool,
-        pending: usize,
-        ready: u32,
-    ) -> Decision {
+    fn on_dma_complete(&mut self, now: Time, marked: bool, pending: usize, ready: u32) -> Decision {
         // Algorithm 2, transcribed:
         //   if no other DMA is pending then
         //       if Descriptor is Marked or DeferredInterrupt is set then
@@ -504,11 +491,11 @@ impl Coalescer for AdaptiveCoalescing {
 }
 
 // ---------------------------------------------------------------------------
-// Strategy selector (serde-friendly config)
+// Strategy selector (plain-data config)
 // ---------------------------------------------------------------------------
 
 /// Declarative strategy configuration, used by experiment configs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CoalescingStrategy {
     /// Interrupt per packet.
     Disabled,
@@ -638,7 +625,10 @@ mod tests {
         let mut c = OpenMxCoalescing::new(75);
         c.on_packet_arrival(t(0), &omx_marked());
         let d = c.on_dma_complete(t(1), true, 5, 1);
-        assert!(d.raise, "marked descriptor raises regardless of pending DMAs");
+        assert!(
+            d.raise,
+            "marked descriptor raises regardless of pending DMAs"
+        );
     }
 
     #[test]
@@ -758,10 +748,7 @@ mod tests {
             c.on_interrupt(now);
         }
         let d = c.current_delay().as_nanos();
-        assert!(
-            (45_000..=55_000).contains(&d),
-            "expected ~50us, got {d}ns"
-        );
+        assert!((45_000..=55_000).contains(&d), "expected ~50us, got {d}ns");
     }
 
     #[test]

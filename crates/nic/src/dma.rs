@@ -10,11 +10,10 @@
 
 use crate::packet::DescId;
 use omx_sim::{Time, TimeDelta};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// DMA engine parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DmaConfig {
     /// Fixed per-descriptor setup cost in nanoseconds (doorbell, descriptor
     /// fetch, completion write).
@@ -73,7 +72,11 @@ impl DmaEngine {
     /// Submit a transfer for descriptor `desc` of `len` bytes at time `now`.
     /// Returns the absolute completion time (FIFO after earlier transfers).
     pub fn submit(&mut self, now: Time, desc: DescId, len: u32) -> Time {
-        let start = if self.tail_time > now { self.tail_time } else { now };
+        let start = if self.tail_time > now {
+            self.tail_time
+        } else {
+            now
+        };
         let completes_at = start + self.cfg.transfer_time(len);
         self.tail_time = completes_at;
         self.inflight.push_back(Inflight { desc });

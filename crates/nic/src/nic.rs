@@ -19,10 +19,9 @@ use crate::dma::{DmaConfig, DmaEngine};
 use crate::packet::{DescId, PacketClass, PacketMeta};
 use omx_sim::stats::{Counter, Histogram};
 use omx_sim::Time;
-use serde::{Deserialize, Serialize};
 
 /// Static NIC configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NicConfig {
     /// RX ring capacity in descriptors (in-flight DMAs + ready packets).
     pub rx_ring_slots: u32,
@@ -69,7 +68,7 @@ pub struct NicOutcome {
 }
 
 /// Monotonic NIC counters (mirrors `ethtool -S` style statistics).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct NicCounters {
     /// Interrupts actually delivered to the host.
     pub interrupts: Counter,
@@ -85,7 +84,32 @@ pub struct NicCounters {
     pub ip_packets: Counter,
     /// Packets claimed by the host per interrupt.
     pub batch_sizes: Histogram,
+    /// Time each packet sat ready (DMA done) before its interrupt fired,
+    /// nanoseconds — the coalescing deferral the paper trades against
+    /// interrupt rate.
+    pub coalesce_hold_ns: Histogram,
 }
+
+omx_sim::impl_to_json!(NicCounters {
+    interrupts,
+    packets,
+    marked_packets,
+    ring_drops,
+    omx_packets,
+    ip_packets,
+    batch_sizes,
+    coalesce_hold_ns,
+});
+omx_sim::impl_from_json!(NicCounters {
+    interrupts,
+    packets,
+    marked_packets,
+    ring_drops,
+    omx_packets,
+    ip_packets,
+    batch_sizes,
+    coalesce_hold_ns,
+});
 
 /// The simulated NIC.
 pub struct Nic {
@@ -343,13 +367,17 @@ impl Nic {
         }
     }
 
-    fn deliver(&mut self, _now: Time, claim: Vec<ReadyPacket>, out: &mut NicOutcome) {
+    fn deliver(&mut self, now: Time, claim: Vec<ReadyPacket>, out: &mut NicOutcome) {
         debug_assert!(self.irq_enabled);
         debug_assert!(self.claimed.is_empty(), "previous claim not drained");
         debug_assert!(!claim.is_empty());
         self.irq_enabled = false;
         self.counters.interrupts.incr();
         self.counters.batch_sizes.record(claim.len() as u64);
+        for pkt in &claim {
+            let hold = now.as_nanos().saturating_sub(pkt.completed_at.as_nanos());
+            self.counters.coalesce_hold_ns.record(hold);
+        }
         self.claimed = claim;
         out.interrupt = true;
     }

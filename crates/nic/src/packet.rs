@@ -5,15 +5,13 @@
 //! marker* — that the Open-MX sender driver sets. Everything the coalescing
 //! heuristics may legitimately look at is collected in [`PacketMeta`].
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an RX descriptor inside one NIC (monotonically increasing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DescId(pub u64);
 
 /// Coarse traffic class, used only for per-class counters (the paper checks
 /// that non-Open-MX traffic is unaffected by the firmware change).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketClass {
     /// An Open-MX protocol packet.
     OpenMx,
@@ -24,7 +22,7 @@ pub enum PacketClass {
 }
 
 /// What the firmware can see about one received frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketMeta {
     /// Frame length in bytes (drives the DMA transfer time).
     pub len_bytes: u32,

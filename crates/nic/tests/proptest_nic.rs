@@ -1,10 +1,13 @@
 //! Property tests for the NIC state machine: liveness (no packet ever
 //! strands without an interrupt) and conservation (every accepted packet is
 //! claimed exactly once) for every strategy under arbitrary traffic.
+//!
+//! Randomised with the simulator's deterministic [`SimRng`] (fixed seeds, so
+//! failures reproduce exactly) instead of an external property-test harness.
 
 use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta};
+use omx_sim::rng::SimRng;
 use omx_sim::Time;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -108,37 +111,67 @@ fn strategies() -> Vec<CoalescingStrategy> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_arrivals(
+    rng: &mut SimRng,
+    count_lo: u64,
+    count_hi: u64,
+    gap_lo: u64,
+    gap_hi: u64,
+) -> Vec<(u64, u32, bool)> {
+    let n = rng.range_u64(count_lo, count_hi) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.range_u64(gap_lo, gap_hi),
+                rng.range_u64(1, 1500) as u32,
+                rng.chance(0.5),
+            )
+        })
+        .collect()
+}
 
-    /// Liveness + conservation: every accepted packet is eventually claimed
-    /// by exactly one interrupt, for any strategy, any arrival pattern, any
-    /// marking, any host service time.
-    #[test]
-    fn every_packet_is_claimed_exactly_once(
-        arrivals in prop::collection::vec((0u64..200_000, 1u32..1500, any::<bool>()), 1..200),
-        service_ns in 100u64..20_000,
-    ) {
+/// Liveness + conservation: every accepted packet is eventually claimed
+/// by exactly one interrupt, for any strategy, any arrival pattern, any
+/// marking, any host service time.
+#[test]
+fn every_packet_is_claimed_exactly_once() {
+    let mut rng = SimRng::new(0x5EED_1001);
+    for _case in 0..48 {
+        let arrivals = random_arrivals(&mut rng, 1, 200, 0, 200_000);
+        let service_ns = rng.range_u64(100, 20_000);
         for strategy in strategies() {
             let (accepted, claimed, irqs) = drive(strategy, &arrivals, service_ns);
-            prop_assert_eq!(
+            assert_eq!(
                 accepted, claimed,
-                "{:?}: {} accepted vs {} claimed", strategy, accepted, claimed
+                "{strategy:?}: {accepted} accepted vs {claimed} claimed"
             );
-            prop_assert!(irqs >= 1);
+            assert!(irqs >= 1);
         }
     }
+}
 
-    /// Disabled coalescing raises at least one interrupt per packet batch
-    /// boundary and never fewer interrupts than any coalescing strategy.
-    #[test]
-    fn disabled_raises_the_most_interrupts(
-        arrivals in prop::collection::vec((100u64..10_000, 1u32..1500, any::<bool>()), 5..100),
-    ) {
+/// Disabled coalescing raises at least one interrupt per packet batch
+/// boundary and never fewer interrupts than any coalescing strategy.
+#[test]
+fn disabled_raises_the_most_interrupts() {
+    let mut rng = SimRng::new(0x5EED_1002);
+    for _case in 0..48 {
+        let arrivals = random_arrivals(&mut rng, 5, 100, 100, 10_000);
         let (_, _, disabled) = drive(CoalescingStrategy::Disabled, &arrivals, 1_000);
-        let (_, _, timeout) = drive(CoalescingStrategy::Timeout { delay_us: 75 }, &arrivals, 1_000);
-        let (_, _, stream) = drive(CoalescingStrategy::Stream { delay_us: 75 }, &arrivals, 1_000);
-        prop_assert!(disabled >= timeout, "disabled {disabled} < timeout {timeout}");
-        prop_assert!(disabled >= stream, "disabled {disabled} < stream {stream}");
+        let (_, _, timeout) = drive(
+            CoalescingStrategy::Timeout { delay_us: 75 },
+            &arrivals,
+            1_000,
+        );
+        let (_, _, stream) = drive(
+            CoalescingStrategy::Stream { delay_us: 75 },
+            &arrivals,
+            1_000,
+        );
+        assert!(
+            disabled >= timeout,
+            "disabled {disabled} < timeout {timeout}"
+        );
+        assert!(disabled >= stream, "disabled {disabled} < stream {stream}");
     }
 }

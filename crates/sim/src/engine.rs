@@ -307,7 +307,12 @@ mod tests {
         }
         impl Model for TwoPhase {
             type Event = &'static str;
-            fn handle(&mut self, _now: Time, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+            fn handle(
+                &mut self,
+                _now: Time,
+                ev: &'static str,
+                sched: &mut Scheduler<&'static str>,
+            ) {
                 self.log.push(ev);
                 if ev == "first" {
                     sched.schedule_now("follow-up");

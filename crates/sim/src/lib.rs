@@ -11,7 +11,9 @@
 //! * [`rng`] — seeded deterministic random-number helpers so that every
 //!   experiment is exactly reproducible,
 //! * [`stats`] — counters, histograms and online summary statistics used by
-//!   the measurement harness.
+//!   the measurement harness,
+//! * [`json`] — the self-contained JSON value model used by the result
+//!   writers and the trace exporters (no external serialisation crates).
 //!
 //! The engine is intentionally single-threaded: determinism is a hard
 //! requirement for the paper reproduction (identical seeds must produce
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -5,49 +5,86 @@
 //! experiment seed. Sub-streams are split with [`SimRng::fork`] so that
 //! adding a consumer in one component never perturbs the draw sequence seen
 //! by another — a prerequisite for comparing strategies on identical traffic.
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain
+//! construction by Blackman & Vigna) seeded through SplitMix64, so the
+//! workspace carries no external RNG dependency and the draw sequences are
+//! identical on every platform.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A seeded simulation RNG (wraps `rand::SmallRng`).
+/// A seeded simulation RNG (xoshiro256++ core).
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit experiment seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+        // Expand the seed with SplitMix64, as the xoshiro authors recommend.
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            *slot = splitmix64(x);
         }
+        // All-zero state would be a fixed point; seed 0 must still work.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent sub-stream labelled by `stream`.
     ///
-    /// The label is mixed with the parent seed via SplitMix64 so different
+    /// The label is mixed with the parent state via SplitMix64 so different
     /// labels give decorrelated streams even for adjacent integers.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
+        let base = self.next_u64();
         SimRng::new(splitmix64(base ^ splitmix64(stream)))
     }
 
     /// Uniform value in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniformly random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. `hi` must exceed `lo`.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(hi > lo);
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Rejection sampling to kill modulo bias (Lemire-style threshold).
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return lo + (r % span);
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p`.
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponentially distributed value with the given mean (for Poisson
@@ -57,7 +94,7 @@ impl SimRng {
             return 0.0;
         }
         // Inverse-CDF; clamp the uniform away from 0 to avoid ln(0).
-        let u = self.inner.gen::<f64>().max(1e-12);
+        let u = self.unit().max(1e-12);
         -mean * u.ln()
     }
 
@@ -66,7 +103,7 @@ impl SimRng {
         if spread == 0 {
             return 0;
         }
-        self.inner.gen_range(-(spread as i64)..=(spread as i64))
+        self.range_u64(0, 2 * spread + 1) as i64 - spread as i64
     }
 }
 
@@ -101,6 +138,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SimRng::new(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+    }
+
+    #[test]
     fn forks_are_decorrelated_and_deterministic() {
         let mut parent1 = SimRng::new(7);
         let mut parent2 = SimRng::new(7);
@@ -122,6 +166,15 @@ mod tests {
         for _ in 0..1000 {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 17);
+            assert!((10..17).contains(&v));
         }
     }
 
@@ -151,9 +204,14 @@ mod tests {
     fn jitter_bounds() {
         let mut r = SimRng::new(17);
         assert_eq!(r.jitter_ns(0), 0);
+        let mut seen_neg = false;
+        let mut seen_pos = false;
         for _ in 0..1000 {
             let j = r.jitter_ns(50);
             assert!((-50..=50).contains(&j));
+            seen_neg |= j < 0;
+            seen_pos |= j > 0;
         }
+        assert!(seen_neg && seen_pos, "jitter covers both signs");
     }
 }

@@ -8,10 +8,9 @@
 //!   (e.g. pending-DMA depth, core sleep occupancy).
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -40,7 +39,7 @@ impl Counter {
 }
 
 /// Streaming mean / variance / extremes (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -135,7 +134,7 @@ impl OnlineStats {
 /// Buckets grow geometrically (~7 % relative width) from 1 ns to ~10 minutes,
 /// giving quantile error below 4 % — plenty for latency distributions — with
 /// a fixed 364-slot footprint.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -240,7 +239,7 @@ impl Histogram {
 }
 
 /// Time-weighted average of a piecewise-constant gauge.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeWeighted {
     last_time: Time,
     last_value: f64,
@@ -290,6 +289,96 @@ impl TimeWeighted {
         } else {
             (self.weighted_sum + self.last_value * dt) / total
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON conversions (replacing the former derive-based serialisation)
+// ---------------------------------------------------------------------------
+
+use crate::json::{FromJson, Json, ToJson};
+
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Counter {
+    fn from_json(value: &Json) -> Option<Self> {
+        value.as_u64().map(Counter)
+    }
+}
+
+crate::impl_to_json!(OnlineStats {
+    n,
+    mean,
+    m2,
+    min,
+    max
+});
+crate::impl_from_json!(OnlineStats {
+    n,
+    mean,
+    m2,
+    min,
+    max
+});
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        // Sparse bucket encoding: only non-empty slots as [index, count].
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64, c))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", Json::F64(self.sum)),
+            ("overflow", Json::U64(self.overflow)),
+            ("buckets", buckets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Json) -> Option<Self> {
+        let mut h = Histogram::new();
+        h.count = value.get("count")?.as_u64()?;
+        h.sum = value.get("sum")?.as_f64()?;
+        h.overflow = value.get("overflow")?.as_u64()?;
+        let sparse: Vec<(u64, u64)> = FromJson::from_json(value.get("buckets")?)?;
+        for (idx, c) in sparse {
+            *h.buckets.get_mut(idx as usize)? = c;
+        }
+        Some(h)
+    }
+}
+
+impl ToJson for TimeWeighted {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("last_time_ns", Json::U64(self.last_time.as_nanos())),
+            ("last_value", Json::F64(self.last_value)),
+            ("weighted_sum", Json::F64(self.weighted_sum)),
+            ("total_time", Json::F64(self.total_time)),
+            ("peak", Json::F64(self.peak)),
+        ])
+    }
+}
+
+impl FromJson for TimeWeighted {
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(TimeWeighted {
+            last_time: Time::from_nanos(value.get("last_time_ns")?.as_u64()?),
+            last_value: value.get("last_value")?.as_f64()?,
+            weighted_sum: value.get("weighted_sum")?.as_f64()?,
+            total_time: value.get("total_time")?.as_f64()?,
+            peak: value.get("peak")?.as_f64()?,
+        })
     }
 }
 
@@ -389,7 +478,7 @@ mod tests {
         let mut g = TimeWeighted::new(Time::ZERO, 0.0);
         g.set(Time::from_nanos(100), 10.0); // value 0 for 100 ns
         g.set(Time::from_nanos(300), 0.0); // value 10 for 200 ns
-        // At t=400: value 0 for another 100 ns. Mean = (0*100+10*200+0*100)/400 = 5.
+                                           // At t=400: value 0 for another 100 ns. Mean = (0*100+10*200+0*100)/400 = 5.
         assert!((g.mean_at(Time::from_nanos(400)) - 5.0).abs() < 1e-12);
         assert_eq!(g.peak(), 10.0);
         assert_eq!(g.current(), 0.0);
@@ -399,5 +488,35 @@ mod tests {
     fn time_weighted_no_elapsed_time() {
         let g = TimeWeighted::new(Time::from_nanos(5), 3.0);
         assert_eq!(g.mean_at(Time::from_nanos(5)), 3.0);
+    }
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let mut c = Counter::new();
+        c.add(7);
+        let c2 = Counter::from_json(&Json::parse(&c.to_json().render()).unwrap()).unwrap();
+        assert_eq!(c2.get(), 7);
+
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 4.0] {
+            s.record(x);
+        }
+        let s2 = OnlineStats::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+        assert_eq!(s2.count(), 3);
+        assert!((s2.mean() - s.mean()).abs() < 1e-12);
+
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 20, 5_000] {
+            h.record(v);
+        }
+        let h2 = Histogram::from_json(&Json::parse(&h.to_json().render()).unwrap()).unwrap();
+        assert_eq!(h2.count(), 4);
+        assert_eq!(h2.median(), h.median());
+
+        let mut g = TimeWeighted::new(Time::ZERO, 1.0);
+        g.set(Time::from_nanos(50), 3.0);
+        let g2 = TimeWeighted::from_json(&Json::parse(&g.to_json().render()).unwrap()).unwrap();
+        assert_eq!(g2.current(), 3.0);
+        assert_eq!(g2.peak(), 3.0);
     }
 }

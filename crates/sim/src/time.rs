@@ -9,20 +9,13 @@
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// An absolute simulated instant, in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
 
 /// A signed duration between two [`Time`] instants, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeDelta(pub i64);
 
 impl Time {
@@ -276,6 +269,30 @@ impl fmt::Display for TimeDelta {
     }
 }
 
+impl crate::json::ToJson for Time {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::U64(self.0)
+    }
+}
+
+impl crate::json::FromJson for Time {
+    fn from_json(value: &crate::json::Json) -> Option<Self> {
+        value.as_u64().map(Time)
+    }
+}
+
+impl crate::json::ToJson for TimeDelta {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::I64(self.0)
+    }
+}
+
+impl crate::json::FromJson for TimeDelta {
+    fn from_json(value: &crate::json::Json) -> Option<Self> {
+        value.as_i64().map(TimeDelta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +302,10 @@ mod tests {
         assert_eq!(Time::from_secs(1), Time::from_millis(1_000));
         assert_eq!(Time::from_millis(1), Time::from_micros(1_000));
         assert_eq!(Time::from_micros(1), Time::from_nanos(1_000));
-        assert_eq!(TimeDelta::from_secs(2), TimeDelta::from_nanos(2_000_000_000));
+        assert_eq!(
+            TimeDelta::from_secs(2),
+            TimeDelta::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Property tests for the event queue: ordering, FIFO ties, cancellation.
+//!
+//! Randomised with the crate's own deterministic [`SimRng`] (fixed seeds, so
+//! failures reproduce exactly) instead of an external property-test harness.
 
+use omx_sim::rng::SimRng;
 use omx_sim::{EventQueue, Time};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in nondecreasing time order, with FIFO order among
-    /// equal timestamps, regardless of push order.
-    #[test]
-    fn pop_order_is_time_then_fifo(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Events always pop in nondecreasing time order, with FIFO order among
+/// equal timestamps, regardless of push order.
+#[test]
+fn pop_order_is_time_then_fifo() {
+    let mut rng = SimRng::new(0x5EED_0001);
+    for _case in 0..128 {
+        let n = rng.range_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Time::from_nanos(t), (t, i));
@@ -16,21 +22,27 @@ proptest! {
         let mut popped = 0;
         while let Some((at, (t, i))) = q.pop() {
             popped += 1;
-            prop_assert_eq!(at.as_nanos(), t);
+            assert_eq!(at.as_nanos(), t);
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "order violated: ({lt},{li}) then ({t},{i})");
+                assert!(
+                    t > lt || (t == lt && i > li),
+                    "order violated: ({lt},{li}) then ({t},{i})"
+                );
             }
             last = Some((t, i));
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, times.len());
     }
+}
 
-    /// Cancelled events never pop; everything else always pops exactly once.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..500, 1..200),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// Cancelled events never pop; everything else always pops exactly once.
+#[test]
+fn cancellation_is_exact() {
+    let mut rng = SimRng::new(0x5EED_0002);
+    for _case in 0..128 {
+        let n = rng.range_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 500)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut q = EventQueue::new();
         let tokens: Vec<_> = times
             .iter()
@@ -39,32 +51,37 @@ proptest! {
             .collect();
         let mut cancelled = std::collections::HashSet::new();
         for (i, tok) in &tokens {
-            if *cancel_mask.get(*i).unwrap_or(&false) {
-                prop_assert!(q.cancel(*tok), "first cancel must succeed");
-                prop_assert!(!q.cancel(*tok), "second cancel must fail");
+            if cancel_mask[*i] {
+                assert!(q.cancel(*tok), "first cancel must succeed");
+                assert!(!q.cancel(*tok), "second cancel must fail");
                 cancelled.insert(*i);
             }
         }
-        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        assert_eq!(q.len(), times.len() - cancelled.len());
         let mut seen = std::collections::HashSet::new();
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "cancelled event {i} popped");
-            prop_assert!(seen.insert(i), "event {i} popped twice");
+            assert!(!cancelled.contains(&i), "cancelled event {i} popped");
+            assert!(seen.insert(i), "event {i} popped twice");
         }
-        prop_assert_eq!(seen.len(), times.len() - cancelled.len());
+        assert_eq!(seen.len(), times.len() - cancelled.len());
     }
+}
 
-    /// Interleaved push/pop keeps the min-heap property observable: any pop
-    /// returns a time ≥ the previous pop.
-    #[test]
-    fn interleaved_operations_stay_ordered(ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..300)) {
+/// Interleaved push/pop keeps the min-heap property observable: any pop
+/// returns a time ≥ the previous pop.
+#[test]
+fn interleaved_operations_stay_ordered() {
+    let mut rng = SimRng::new(0x5EED_0003);
+    for _case in 0..128 {
+        let ops = rng.range_u64(1, 300) as usize;
         let mut q = EventQueue::new();
         let mut last_popped = 0u64;
         let mut clock = 0u64; // scheduling must be >= last pop for realism
-        for (t, do_pop) in ops {
-            if do_pop {
+        for _ in 0..ops {
+            let t = rng.range_u64(0, 1000);
+            if rng.chance(0.5) {
                 if let Some((at, ())) = q.pop() {
-                    prop_assert!(at.as_nanos() >= last_popped);
+                    assert!(at.as_nanos() >= last_popped);
                     last_popped = at.as_nanos();
                 }
             } else {

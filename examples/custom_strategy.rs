@@ -34,13 +34,7 @@ impl Coalescer for AdaptiveOpenMx {
         self.fallback.on_packet_arrival(now, meta)
     }
 
-    fn on_dma_complete(
-        &mut self,
-        now: Time,
-        marked: bool,
-        pending: usize,
-        ready: u32,
-    ) -> Decision {
+    fn on_dma_complete(&mut self, now: Time, marked: bool, pending: usize, ready: u32) -> Decision {
         if marked {
             // The paper's Algorithm 1 branch: marked descriptor → interrupt.
             Decision::RAISE
@@ -61,7 +55,10 @@ impl Coalescer for AdaptiveOpenMx {
 fn main() {
     println!("custom Coalescer demo: adaptive fallback + Open-MX markers (§VI)\n");
 
-    for (name, custom) in [("built-in open-mx", false), ("custom adaptive+open-mx", true)] {
+    for (name, custom) in [
+        ("built-in open-mx", false),
+        ("custom adaptive+open-mx", true),
+    ] {
         let mut cluster = ClusterBuilder::new()
             .nodes(2)
             .strategy(CoalescingStrategy::OpenMx { delay_us: 75 })
@@ -83,5 +80,7 @@ fn main() {
         );
     }
 
-    println!("\nAny Coalescer implementation can be plugged per node via Cluster::set_node_strategy.");
+    println!(
+        "\nAny Coalescer implementation can be plugged per node via Cluster::set_node_strategy."
+    );
 }

@@ -29,7 +29,10 @@ fn main() {
 
     let mut default_s = None;
     for (name, strategy) in [
-        ("timeout-75us (default)", CoalescingStrategy::Timeout { delay_us: 75 }),
+        (
+            "timeout-75us (default)",
+            CoalescingStrategy::Timeout { delay_us: 75 },
+        ),
         ("disabled", CoalescingStrategy::Disabled),
         ("open-mx", CoalescingStrategy::OpenMx { delay_us: 75 }),
         ("stream", CoalescingStrategy::Stream { delay_us: 75 }),

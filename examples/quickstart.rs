@@ -15,12 +15,21 @@ use openmx_repro::prelude::*;
 fn main() {
     println!("Open-MX interrupt coalescing quickstart (two 8-core nodes, 10 GbE, MTU 1500)\n");
     let strategies = [
-        ("timeout-75us (NIC default)", CoalescingStrategy::Timeout { delay_us: 75 }),
+        (
+            "timeout-75us (NIC default)",
+            CoalescingStrategy::Timeout { delay_us: 75 },
+        ),
         ("disabled (rx-usecs 0)", CoalescingStrategy::Disabled),
-        ("open-mx (paper, Alg. 1)", CoalescingStrategy::OpenMx { delay_us: 75 }),
+        (
+            "open-mx (paper, Alg. 1)",
+            CoalescingStrategy::OpenMx { delay_us: 75 },
+        ),
     ];
 
-    println!("{:<28} {:>14} {:>16} {:>12}", "strategy", "8 B latency", "1 MiB transfer", "interrupts");
+    println!(
+        "{:<28} {:>14} {:>16} {:>12}",
+        "strategy", "8 B latency", "1 MiB transfer", "interrupts"
+    );
     for (name, strategy) in strategies {
         let small = run_pingpong(strategy, 8);
         let large = run_pingpong(strategy, 1 << 20);

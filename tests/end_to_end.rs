@@ -103,7 +103,16 @@ fn deliver_with(
 #[test]
 fn every_size_class_delivers_under_every_strategy() {
     // Small (single packet), medium (fragmented eager), large (pull).
-    let sizes = [0u32, 1, 128, 129, 4 << 10, 32 << 10, (32 << 10) + 1, 234 << 10];
+    let sizes = [
+        0u32,
+        1,
+        128,
+        129,
+        4 << 10,
+        32 << 10,
+        (32 << 10) + 1,
+        234 << 10,
+    ];
     let strategies = [
         CoalescingStrategy::Disabled,
         CoalescingStrategy::Timeout { delay_us: 75 },
@@ -175,8 +184,20 @@ fn different_seeds_change_disturbed_runs_but_not_results() {
         jitter_ns: 2_000,
         ..DisturbanceConfig::none()
     };
-    let a = deliver_with(32 << 10, 10, CoalescingStrategy::OpenMx { delay_us: 75 }, disturbance.clone(), 1);
-    let b = deliver_with(32 << 10, 10, CoalescingStrategy::OpenMx { delay_us: 75 }, disturbance, 2);
+    let a = deliver_with(
+        32 << 10,
+        10,
+        CoalescingStrategy::OpenMx { delay_us: 75 },
+        disturbance.clone(),
+        1,
+    );
+    let b = deliver_with(
+        32 << 10,
+        10,
+        CoalescingStrategy::OpenMx { delay_us: 75 },
+        disturbance,
+        2,
+    );
     // Same payload delivered...
     assert_eq!(a.0, b.0);
     assert_eq!(a.1, b.1);
@@ -227,7 +248,11 @@ fn tiny_rx_ring_overflows_and_retransmission_recovers() {
         }),
     );
     let stop = cluster.run(Time::from_secs(120));
-    assert_eq!(stop, StopCondition::PredicateSatisfied, "must still deliver");
+    assert_eq!(
+        stop,
+        StopCondition::PredicateSatisfied,
+        "must still deliver"
+    );
     let m = cluster.metrics();
     let drops: u64 = m.nodes.iter().map(|n| n.nic.ring_drops.get()).sum();
     assert!(drops > 0, "the tiny ring should have overflowed");
@@ -268,5 +293,9 @@ fn jumbo_mtu_end_to_end() {
     assert_eq!(r.bytes, 3 * (192 << 10));
     // ~22 reply frames per message instead of ~132 at MTU 1500.
     let m = cluster.metrics();
-    assert!(m.frames_carried < 3 * 40, "jumbo frames: {}", m.frames_carried);
+    assert!(
+        m.frames_carried < 3 * 40,
+        "jumbo frames: {}",
+        m.frames_carried
+    );
 }
