@@ -26,6 +26,20 @@ fn event_queue() {
         while q.pop().is_some() {}
         q
     });
+
+    // The NIC coalescing pattern: a short-horizon timer cancelled and
+    // re-armed once per packet behind an earlier backstop event — the timer
+    // wheel's O(1) fast path.
+    bench("event_queue", "timer_rearm_100k", 3, 20, || {
+        let mut q = EventQueue::<u64>::new();
+        q.push(Time::ZERO, 0);
+        let mut tok = q.push(Time::from_nanos(60_000), 1);
+        for i in 0..100_000u64 {
+            q.cancel(tok);
+            tok = q.push(Time::from_nanos(60_000 + (i % 1_000)), 1);
+        }
+        q
+    });
 }
 
 struct Chain {

@@ -19,7 +19,8 @@
 //!   multiqueue         flow-hashed IRQ steering (§VI future work)
 //!   jumbo              MTU 9000 sanity check (§IV-A)
 //!   sensitivity        cost-model perturbation study (robustness)
-//!   all                everything above
+//!   perf [--smoke]     substrate micro-benchmarks → BENCH_sim.json
+//!   all                everything above (except perf)
 //! ```
 //!
 //! `trace <experiment>` runs a small representative scenario with
@@ -38,6 +39,42 @@ use omx_bench::experiments::{
 };
 use omx_bench::write_json;
 
+/// `(subcommand, one-line description)` for `omx-bench list`.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig4", "message rate vs coalescing delay (Fig. 4)"),
+    ("overhead", "per-packet interrupt overhead (§IV-B2)"),
+    ("fig5", "ping-pong, timeout vs disabled (Fig. 5)"),
+    ("fig6", "ping-pong + open-mx (Fig. 6)"),
+    ("table1", "message rate by size × strategy (Table I)"),
+    (
+        "table2",
+        "234 KiB anatomy + marker ablation (Table II, §IV-C3)",
+    ),
+    (
+        "table3",
+        "packet mis-ordering vs stream coalescing (Table III)",
+    ),
+    (
+        "table4",
+        "NAS execution times (Table IV); optional row filter",
+    ),
+    ("table5", "NAS IS interrupt counts (Table V)"),
+    ("adaptive", "adaptive coalescing comparison (§VI)"),
+    ("coexistence", "TCP/IP non-interference check (§IV/§VI)"),
+    ("multiqueue", "flow-hashed IRQ steering (§VI future work)"),
+    ("jumbo", "MTU 9000 sanity check (§IV-A)"),
+    ("sensitivity", "cost-model perturbation study (robustness)"),
+    (
+        "perf",
+        "substrate micro-benchmarks → BENCH_sim.json (--smoke)",
+    ),
+    (
+        "trace",
+        "trace capture: omx-bench trace <experiment> [--quick]",
+    ),
+    ("all", "every experiment above (except perf)"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -52,6 +89,13 @@ fn main() {
     let mut positional = args.iter().filter(|a| !a.starts_with("--"));
     let which = positional.next().map(String::as_str).unwrap_or("all");
     let filter = positional.next().cloned().unwrap_or_default();
+
+    if which == "list" {
+        for (name, what) in EXPERIMENTS {
+            println!("{name:<18} {what}");
+        }
+        return;
+    }
 
     if which == "trace" {
         let experiment = if filter.is_empty() { "fig5" } else { &filter };
@@ -79,6 +123,7 @@ fn main() {
         "multiqueue" => run_multiqueue(),
         "jumbo" => run_jumbo(quick),
         "sensitivity" => run_sensitivity(quick),
+        "perf" => run_perf(args.iter().any(|a| a == "--smoke")),
         "all" => {
             run_fig4(quick);
             run_overhead(quick);
@@ -95,7 +140,7 @@ fn main() {
             run_nas(if quick { "is." } else { "" });
         }
         other => {
-            eprintln!("unknown experiment '{other}'; see the crate docs");
+            eprintln!("unknown experiment '{other}'; `omx-bench list` enumerates them");
             std::process::exit(2);
         }
     }
@@ -254,6 +299,19 @@ fn run_sensitivity(quick: bool) {
     let result = sensitivity::run(if quick { 500 } else { 1_200 });
     println!("{}", sensitivity::table(&result).render());
     let _ = write_json("sensitivity", &result);
+}
+
+fn run_perf(smoke: bool) {
+    println!(
+        "== substrate perf baseline{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let report = omx_bench::perf::run(smoke);
+    omx_bench::perf::print_summary(&report);
+    match omx_bench::perf::write_report(&report) {
+        Ok(()) => println!("wrote BENCH_sim.json"),
+        Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
+    }
 }
 
 fn run_adaptive(quick: bool) {

@@ -1,0 +1,200 @@
+//! Tracked performance baseline of the simulation substrate.
+//!
+//! `omx-bench perf` runs the substrate micro-benchmarks (the same workloads
+//! as `cargo bench --bench engine`, plus a timer re-arm stress) and writes a
+//! machine-readable report to `BENCH_sim.json` in the working directory.
+//! Each entry carries the tracked pre-optimisation baseline captured before
+//! the indexed-heap/timer-wheel queue landed, so a regression shows up as a
+//! `speedup_vs_baseline` below 1.0 without digging through CI logs.
+//!
+//! `--smoke` runs one warmup and one timed iteration per workload — enough
+//! for CI to prove the binary works and to publish a report artifact without
+//! burning minutes on statistics.
+//!
+//! Report schema (`omx-bench-perf/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "omx-bench-perf/1",
+//!   "mode": "full" | "smoke",
+//!   "benches": [
+//!     {
+//!       "id": "event_queue/push_cancel_pop_10k",
+//!       "mean_ns": 410000, "min_ns": 395000, "iters": 20,
+//!       "baseline_mean_ns": 1988000,    // null for new benches
+//!       "speedup_vs_baseline": 4.85     // baseline_mean / mean; null if no baseline
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::timing::{measure, BenchStats};
+use omx_sim::json::Json;
+use omx_sim::{Engine, EventQueue, Model, Scheduler, Time};
+
+/// Mean per-iteration wall time (ns) of each workload on the tracked
+/// reference machine, captured with the pre-PR `BinaryHeap` + tombstone-set
+/// queue. New workloads without a pre-PR equivalent carry no baseline.
+const BASELINE_MEAN_NS: &[(&str, u64)] = &[
+    ("event_queue/push_pop_10k_fifo", 1_654_000),
+    ("event_queue/push_cancel_pop_10k", 1_988_000),
+    ("engine/dispatch_100k_chained_events", 5_816_000),
+];
+
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = ();
+    fn handle(&mut self, _now: Time, _ev: (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_in(10, ());
+        }
+    }
+}
+
+fn push_pop_10k_fifo() -> EventQueue<u64> {
+    let mut q = EventQueue::<u64>::new();
+    for i in 0..10_000u64 {
+        q.push(Time::from_nanos(i), i);
+    }
+    while q.pop().is_some() {}
+    q
+}
+
+fn push_cancel_pop_10k() -> EventQueue<u64> {
+    let mut q = EventQueue::<u64>::new();
+    let tokens: Vec<_> = (0..10_000u64)
+        .map(|i| q.push(Time::from_nanos(i % 512), i))
+        .collect();
+    for t in tokens.iter().step_by(2) {
+        q.cancel(*t);
+    }
+    while q.pop().is_some() {}
+    q
+}
+
+/// The NIC coalescing pattern: a short-horizon timer cancelled and re-armed
+/// once per delivered packet, behind an earlier backstop event. Every push
+/// lands in the timer wheel and every cancel is an O(1) bucket removal.
+fn timer_rearm_100k() -> EventQueue<u64> {
+    let mut q = EventQueue::<u64>::new();
+    q.push(Time::ZERO, 0);
+    let mut tok = q.push(Time::from_nanos(60_000), 1);
+    for i in 0..100_000u64 {
+        q.cancel(tok);
+        tok = q.push(Time::from_nanos(60_000 + (i % 1_000)), 1);
+    }
+    q
+}
+
+fn dispatch_100k_chained_events() -> u64 {
+    let mut eng = Engine::new(Chain { remaining: 100_000 });
+    eng.prime(Time::ZERO, ());
+    eng.run(Time::MAX, u64::MAX);
+    eng.events_processed()
+}
+
+fn entry(id: &str, stats: BenchStats) -> Json {
+    let baseline = BASELINE_MEAN_NS
+        .iter()
+        .find(|(k, _)| *k == id)
+        .map(|(_, ns)| *ns);
+    Json::obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("mean_ns", Json::U64(stats.mean_ns)),
+        ("min_ns", Json::U64(stats.min_ns)),
+        ("iters", Json::U64(u64::from(stats.iters))),
+        ("baseline_mean_ns", baseline.map_or(Json::Null, Json::U64)),
+        (
+            "speedup_vs_baseline",
+            baseline.map_or(Json::Null, |b| {
+                Json::F64(b as f64 / stats.mean_ns.max(1) as f64)
+            }),
+        ),
+    ])
+}
+
+/// Run the perf suite and return the report. `smoke` = 1 warmup / 1 iter.
+pub fn run(smoke: bool) -> Json {
+    let (w, n, we, ne) = if smoke { (1, 1, 1, 1) } else { (3, 20, 1, 10) };
+    let benches = vec![
+        entry(
+            "event_queue/push_pop_10k_fifo",
+            measure(w, n, push_pop_10k_fifo),
+        ),
+        entry(
+            "event_queue/push_cancel_pop_10k",
+            measure(w, n, push_cancel_pop_10k),
+        ),
+        entry(
+            "event_queue/timer_rearm_100k",
+            measure(w, n, timer_rearm_100k),
+        ),
+        entry(
+            "engine/dispatch_100k_chained_events",
+            measure(we, ne, dispatch_100k_chained_events),
+        ),
+    ];
+    Json::obj(vec![
+        ("schema", Json::Str("omx-bench-perf/1".into())),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("benches", Json::Arr(benches)),
+    ])
+}
+
+/// Render `report` to `BENCH_sim.json` in the working directory.
+pub fn write_report(report: &Json) -> std::io::Result<()> {
+    std::fs::write("BENCH_sim.json", report.render_pretty())
+}
+
+/// Print a human-readable summary of a report produced by [`run`].
+pub fn print_summary(report: &Json) {
+    let Some(benches) = report.get("benches").and_then(|b| b.as_arr()) else {
+        return;
+    };
+    for b in benches {
+        let id = b.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+        let mean = b.get("mean_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+        let min = b.get("min_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+        match b.get("speedup_vs_baseline").and_then(|v| v.as_f64()) {
+            Some(s) => println!(
+                "{id:<40} mean {:>10} ns  min {:>10} ns  {s:.2}x vs baseline",
+                mean, min
+            ),
+            None => println!(
+                "{id:<40} mean {:>10} ns  min {:>10} ns  (no baseline)",
+                mean, min
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_benches_and_baselines() {
+        let report = run(true);
+        assert_eq!(
+            report.get("schema").and_then(|s| s.as_str()),
+            Some("omx-bench-perf/1")
+        );
+        let benches = report.get("benches").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), 4);
+        let with_baseline = benches
+            .iter()
+            .filter(|b| b.get("baseline_mean_ns").and_then(|v| v.as_u64()).is_some())
+            .count();
+        assert_eq!(with_baseline, BASELINE_MEAN_NS.len());
+        for b in benches {
+            assert!(b.get("mean_ns").and_then(|v| v.as_u64()).unwrap() > 0);
+        }
+    }
+}

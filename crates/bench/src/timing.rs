@@ -10,9 +10,20 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Run `f` `iters` times (after `warmup` untimed runs) and print per-call
-/// mean and min wall time under the given `group/name` label.
-pub fn bench<T>(group: &str, name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) {
+/// Per-benchmark wall-clock statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Mean wall time per timed iteration.
+    pub mean_ns: u64,
+    /// Minimum wall time over the timed iterations (least-noise estimate).
+    pub min_ns: u64,
+    /// Number of timed iterations.
+    pub iters: u32,
+}
+
+/// Run `f` `iters` times (after `warmup` untimed runs) and return per-call
+/// mean and min wall time.
+pub fn measure<T>(warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> BenchStats {
     assert!(iters > 0, "need at least one timed iteration");
     for _ in 0..warmup {
         black_box(f());
@@ -26,11 +37,30 @@ pub fn bench<T>(group: &str, name: &str, warmup: u32, iters: u32, mut f: impl Fn
         total_ns += dt;
         min_ns = min_ns.min(dt);
     }
-    let mean_ns = total_ns / iters as u128;
+    BenchStats {
+        mean_ns: (total_ns / iters as u128) as u64,
+        min_ns: min_ns as u64,
+        iters,
+    }
+}
+
+/// Like [`measure`], printing the result under the given `group/name` label.
+///
+/// Setting the `OMX_BENCH_SMOKE` environment variable clamps every bench to
+/// one warmup and one timed iteration — CI uses this to prove the bench
+/// binaries still run without paying for real statistics.
+pub fn bench<T>(group: &str, name: &str, warmup: u32, iters: u32, f: impl FnMut() -> T) {
+    let (warmup, iters) = if std::env::var_os("OMX_BENCH_SMOKE").is_some() {
+        (1, 1)
+    } else {
+        (warmup, iters)
+    };
+    let stats = measure(warmup, iters, f);
     println!(
-        "{group}/{name:<32} mean {:>12}  min {:>12}  ({iters} iters)",
-        fmt_ns(mean_ns),
-        fmt_ns(min_ns)
+        "{group}/{name:<32} mean {:>12}  min {:>12}  ({} iters)",
+        fmt_ns(stats.mean_ns as u128),
+        fmt_ns(stats.min_ns as u128),
+        stats.iters
     );
 }
 

@@ -1,0 +1,34 @@
+//! Golden determinism test for the simulation substrate.
+//!
+//! The paper reproduction stands on one property: a fixed configuration
+//! produces *exactly* the same results on every run, on every machine, with
+//! any internally-equivalent event-queue implementation. This test pins the
+//! full Table I experiment (12 cells: 3 message sizes × 4 coalescing
+//! strategies, two-node clusters, thousands of messages each) against a
+//! golden JSON rendering captured from the pre-timer-wheel binary-heap
+//! queue. It fails if *anything* perturbs dispatch order: a queue that
+//! reorders same-`(time, seq)` events, a model that iterates a
+//! randomized-seed `HashMap`, or a change to the experiment itself.
+//!
+//! If the experiment is changed intentionally, regenerate the golden with:
+//! `cargo run --release -p omx-bench -- table1 && cp
+//! results/table1_message_rate.json crates/bench/tests/golden/table1.json`.
+
+use omx_bench::experiments::table1;
+use omx_sim::json::ToJson;
+
+const GOLDEN: &str = include_str!("golden/table1.json");
+
+#[test]
+fn table1_results_are_byte_identical_to_golden() {
+    let result = table1::run();
+    let rendered = result.to_json().render_pretty();
+    assert!(
+        rendered == GOLDEN,
+        "table1 results diverged from the golden file.\n\
+         If this change is an intentional behavioural change, regenerate\n\
+         crates/bench/tests/golden/table1.json (see module docs). Otherwise\n\
+         the event-dispatch order is no longer deterministic.\n\
+         --- golden ---\n{GOLDEN}\n--- got ---\n{rendered}"
+    );
+}

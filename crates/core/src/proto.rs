@@ -29,7 +29,7 @@ use crate::wire::{
 };
 use omx_sim::stats::Counter;
 use omx_sim::{Time, TimeDelta};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Protocol tunables.
 #[derive(Debug, Clone, Copy)]
@@ -243,10 +243,13 @@ pub struct NodeDriver {
     local: u16,
     cfg: ProtoConfig,
     endpoints: Vec<Endpoint>,
-    conns: HashMap<(u8, EndpointAddr), Conn>,
+    /// Ordered maps wherever the driver *iterates* (timer scans over conns
+    /// and pulls): iteration order feeds the emitted action order, and a
+    /// randomized-seed `HashMap` would make runs differ across processes.
+    conns: BTreeMap<(u8, EndpointAddr), Conn>,
     sends: HashMap<MsgId, SendState>,
     mediums: HashMap<MsgKey, MediumRx>,
-    pulls: HashMap<MsgKey, PullRx>,
+    pulls: BTreeMap<MsgKey, PullRx>,
     /// Small messages that arrived before their receive was posted are fully
     /// described by the unexpected-match entry; mediums/larges need the maps
     /// above. Completed message keys (dup suppression after completion).
@@ -266,10 +269,10 @@ impl NodeDriver {
                     matcher: MatchEngine::new(),
                 })
                 .collect(),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             sends: HashMap::new(),
             mediums: HashMap::new(),
-            pulls: HashMap::new(),
+            pulls: BTreeMap::new(),
             finished: std::collections::HashSet::new(),
             next_msg: 0,
             counters: DriverCounters::default(),
@@ -311,15 +314,29 @@ impl NodeDriver {
         handle: u64,
     ) -> Vec<DriverAction> {
         let mut actions = Vec::new();
+        self.post_recv_into(now, ep, match_value, match_mask, handle, &mut actions);
+        actions
+    }
+
+    /// [`NodeDriver::post_recv`], appending actions to a caller-owned buffer
+    /// instead of allocating a fresh `Vec` per call.
+    pub fn post_recv_into(
+        &mut self,
+        now: Time,
+        ep: u8,
+        match_value: u64,
+        match_mask: u64,
+        handle: u64,
+        actions: &mut Vec<DriverAction>,
+    ) {
         let posted = PostedRecv {
             handle,
             match_value,
             match_mask,
         };
         if let Some(unexpected) = self.endpoints[ep as usize].matcher.post_recv(posted) {
-            self.claim_unexpected(now, ep, handle, unexpected, &mut actions);
+            self.claim_unexpected(now, ep, handle, unexpected, actions);
         }
-        actions
     }
 
     /// Post a send of `len` bytes from endpoint `ep` to `dst`.
@@ -333,6 +350,23 @@ impl NodeDriver {
         handle: u64,
     ) -> Vec<DriverAction> {
         let mut actions = Vec::new();
+        self.post_send_into(now, ep, dst, len, match_info, handle, &mut actions);
+        actions
+    }
+
+    /// [`NodeDriver::post_send`], appending actions to a caller-owned buffer
+    /// instead of allocating a fresh `Vec` per call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_send_into(
+        &mut self,
+        now: Time,
+        ep: u8,
+        dst: EndpointAddr,
+        len: u32,
+        match_info: u64,
+        handle: u64,
+        actions: &mut Vec<DriverAction>,
+    ) {
         self.start_send(
             now,
             QueuedSend {
@@ -342,27 +376,35 @@ impl NodeDriver {
                 match_info,
                 handle,
             },
-            &mut actions,
+            actions,
         );
-        actions
     }
 
     /// A packet addressed to this node was delivered by the receive handler.
     pub fn handle_packet(&mut self, now: Time, pkt: Packet) -> Vec<DriverAction> {
         let mut actions = Vec::new();
+        self.handle_packet_into(now, pkt, &mut actions);
+        actions
+    }
+
+    /// [`NodeDriver::handle_packet`], appending actions to a caller-owned
+    /// buffer. The hot receive path calls this once per packet per batch;
+    /// reusing one buffer across the whole batch keeps steady-state dispatch
+    /// allocation-free.
+    pub fn handle_packet_into(&mut self, now: Time, pkt: Packet, actions: &mut Vec<DriverAction>) {
         debug_assert_eq!(pkt.hdr.dst.node.0, self.local, "misrouted packet");
         let local_ep = pkt.hdr.dst.endpoint;
         let remote = pkt.hdr.src;
 
         // Piggybacked ack always processes.
-        self.process_ack(now, local_ep, remote, pkt.hdr.ack, &mut actions);
+        self.process_ack(now, local_ep, remote, pkt.hdr.ack, actions);
 
         // Eager sequencing and duplicate suppression.
         if pkt.hdr.seq != 0 && !self.accept_eager_seq(now, local_ep, remote, pkt.hdr.seq) {
             self.counters.duplicates.incr();
             // Duplicates still refresh ack state so the peer stops resending.
-            self.bump_rx_ack(now, local_ep, remote, &mut actions);
-            return actions;
+            self.bump_rx_ack(now, local_ep, remote, actions);
+            return;
         }
 
         match pkt.kind {
@@ -371,8 +413,8 @@ impl NodeDriver {
                 match_info,
                 len,
             } => {
-                self.rx_small(now, local_ep, remote, msg, match_info, len, &mut actions);
-                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+                self.rx_small(now, local_ep, remote, msg, match_info, len, actions);
+                self.bump_rx_ack(now, local_ep, remote, actions);
             }
             PacketKind::MediumFrag {
                 msg,
@@ -383,40 +425,24 @@ impl NodeDriver {
                 ..
             } => {
                 self.rx_medium(
-                    now,
-                    local_ep,
-                    remote,
-                    msg,
-                    match_info,
-                    frag,
-                    frag_count,
-                    total_len,
-                    &mut actions,
+                    now, local_ep, remote, msg, match_info, frag, frag_count, total_len, actions,
                 );
-                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+                self.bump_rx_ack(now, local_ep, remote, actions);
             }
             PacketKind::Rendezvous {
                 msg,
                 match_info,
                 total_len,
             } => {
-                self.rx_rendezvous(
-                    now,
-                    local_ep,
-                    remote,
-                    msg,
-                    match_info,
-                    total_len,
-                    &mut actions,
-                );
-                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+                self.rx_rendezvous(now, local_ep, remote, msg, match_info, total_len, actions);
+                self.bump_rx_ack(now, local_ep, remote, actions);
             }
             PacketKind::PullRequest {
                 msg,
                 block,
                 frame_count,
             } => {
-                self.rx_pull_request(now, local_ep, remote, msg, block, frame_count, &mut actions);
+                self.rx_pull_request(now, local_ep, remote, msg, block, frame_count, actions);
             }
             PacketKind::PullReply {
                 msg,
@@ -433,28 +459,33 @@ impl NodeDriver {
                     block,
                     frame,
                     last_of_block,
-                    &mut actions,
+                    actions,
                 );
             }
             PacketKind::Notify { msg } => {
-                self.rx_notify(now, local_ep, remote, msg, &mut actions);
-                self.bump_rx_ack(now, local_ep, remote, &mut actions);
+                self.rx_notify(now, local_ep, remote, msg, actions);
+                self.bump_rx_ack(now, local_ep, remote, actions);
             }
             PacketKind::Ack { cumulative_seq } => {
-                self.process_ack(now, local_ep, remote, cumulative_seq, &mut actions);
+                self.process_ack(now, local_ep, remote, cumulative_seq, actions);
             }
             PacketKind::TcpSegment { .. } => {
                 // Not Open-MX; nothing to do at this layer.
             }
         }
-        self.arm_timer_action(&mut actions);
-        actions
+        self.arm_timer_action(actions);
     }
 
     /// The retransmit / delayed-ack timer fired.
     pub fn on_timer(&mut self, now: Time) -> Vec<DriverAction> {
         let mut actions = Vec::new();
+        self.on_timer_into(now, &mut actions);
+        actions
+    }
 
+    /// [`NodeDriver::on_timer`], appending actions to a caller-owned buffer
+    /// instead of allocating a fresh `Vec` per call.
+    pub fn on_timer_into(&mut self, now: Time, actions: &mut Vec<DriverAction>) {
         // Delayed acks.
         let due: Vec<(u8, EndpointAddr)> = self
             .conns
@@ -463,7 +494,7 @@ impl NodeDriver {
             .map(|(k, _)| *k)
             .collect();
         for (ep, remote) in due {
-            self.send_standalone_ack(now, ep, remote, &mut actions);
+            self.send_standalone_ack(now, ep, remote, actions);
         }
 
         // Eager retransmissions.
@@ -518,12 +549,11 @@ impl NodeDriver {
             for mut pkt in requests {
                 self.counters.pull_rerequests.incr();
                 pkt.hdr.src = self.addr(src_ep);
-                self.finalize_and_push(now, src_ep, pkt, &mut actions);
+                self.finalize_and_push(now, src_ep, pkt, actions);
             }
         }
 
-        self.arm_timer_action(&mut actions);
-        actions
+        self.arm_timer_action(actions);
     }
 
     /// Earliest pending deadline (retransmit or delayed ack), if any.

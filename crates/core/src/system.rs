@@ -30,10 +30,10 @@ use crate::trace::{TraceData, TraceKind, Tracer};
 use crate::wire::{EndpointAddr, MsgId, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
 use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
 use omx_host::{CoreId, Host, HostConfig};
-use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta};
+use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta, ReadyPacket};
 use omx_sim::rng::SimRng;
 use omx_sim::stats::TimeWeighted;
-use omx_sim::{Engine, Model, Scheduler, StopCondition, Time, TimeDelta};
+use omx_sim::{Engine, EventToken, Model, Scheduler, StopCondition, Time, TimeDelta};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -403,6 +403,11 @@ struct NodeRt {
     pending_dma: TimeWeighted,
     /// Armed driver-timer deadline (dedup of DriverTimer events).
     driver_timer: Option<Time>,
+    /// Token of the pending coalescing-timer event, if any. Re-arming the
+    /// NIC timer cancels the superseded event instead of leaving it to
+    /// fire as an epoch-mismatch no-op — O(1) in the timer wheel, and it
+    /// keeps the queue from accumulating one dead entry per re-arm.
+    coalesce_timer_tok: Option<EventToken>,
 }
 
 impl NodeRt {
@@ -436,6 +441,16 @@ struct SystemModel {
     stop: bool,
     /// Scratch buffer for actor commands (reused across callbacks).
     cmd_buf: Vec<ActorCmd>,
+    /// Scratch buffer for driver actions (reused across dispatches).
+    action_buf: Vec<DriverAction>,
+    /// Scratch for endpoints woken by one batch (see `batch_duration`).
+    woken_scratch: Vec<(u16, u8)>,
+    /// Scratch for the ready-descriptor snapshot of one IRQ service.
+    ready_scratch: Vec<ReadyPacket>,
+    /// Scratch for the DMA-completed frames of one IRQ service.
+    frame_scratch: Vec<WireFrame>,
+    /// Pool of batch vectors cycling through `Ev::BatchDone` events.
+    batch_pool: Vec<Vec<Packet>>,
     /// Optional packet-level event trace.
     tracer: Option<Tracer>,
 }
@@ -461,7 +476,8 @@ impl SystemModel {
         // (try_to_wake_up + rescheduling IPI, plus the C1E exit of the
         // target core when sleep states are allowed): one wake per blocking
         // endpoint this batch delivers to (§IV-B1's "several microseconds").
-        let mut woken: Vec<(u16, u8)> = Vec::new();
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        woken.clear();
         let mut wake_ns = 0u64;
         for frame in batch {
             if let WireFrame::Omx(pkt) = frame {
@@ -481,6 +497,7 @@ impl SystemModel {
                 }
             }
         }
+        self.woken_scratch = woken;
         let host = &mut self.nodes[node as usize].host;
         let mut dur = costs.irq_dispatch_ns + wake_ns;
         // Preempting a running application costs the context switch and the
@@ -589,7 +606,12 @@ impl SystemModel {
             sched.schedule_at(at, Ev::DmaComplete { node, desc });
         }
         if let Some((at, epoch)) = out.arm_timer {
-            sched.schedule_at(at.max(now), Ev::CoalesceTimer { node, epoch });
+            let rt = &mut self.nodes[node as usize];
+            if let Some(tok) = rt.coalesce_timer_tok.take() {
+                sched.cancel(tok);
+            }
+            rt.coalesce_timer_tok =
+                Some(sched.schedule_at(at.max(now), Ev::CoalesceTimer { node, epoch }));
         }
         if out.interrupt {
             let flow = self.nodes[node as usize].nic.claimed_flow();
@@ -609,18 +631,19 @@ impl SystemModel {
         }
     }
 
-    /// Run driver actions; `now` is when they become effective. `irq_core`
-    /// is the core running the driver (None = application context).
+    /// Run driver actions, draining `actions` so the caller's buffer can be
+    /// reused; `now` is when they become effective. `irq_core` is the core
+    /// running the driver (None = application context).
     fn run_driver_actions(
         &mut self,
         node: u16,
         now: Time,
-        actions: Vec<DriverAction>,
+        actions: &mut Vec<DriverAction>,
         irq_core: Option<CoreId>,
         sched: &mut Scheduler<Ev>,
     ) {
         let mut cursor = now;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 DriverAction::Transmit(pkt) => {
                     let cost = self.tx_cost_ns(&pkt);
@@ -732,10 +755,18 @@ impl SystemModel {
                         + costs.send_frag_ns * frags.min(4)
                         + costs.tx_copy_ns(eager_len);
                     cursor += TimeDelta::from_nanos(cpu as i64);
-                    let actions = self.nodes[node as usize]
-                        .driver
-                        .post_send(cursor, ep, dst, len, match_info, handle);
-                    self.run_driver_actions(node, cursor, actions, None, sched);
+                    let mut actions = std::mem::take(&mut self.action_buf);
+                    self.nodes[node as usize].driver.post_send_into(
+                        cursor,
+                        ep,
+                        dst,
+                        len,
+                        match_info,
+                        handle,
+                        &mut actions,
+                    );
+                    self.run_driver_actions(node, cursor, &mut actions, None, sched);
+                    self.action_buf = actions;
                 }
                 ActorCmd::Recv {
                     match_value,
@@ -743,14 +774,17 @@ impl SystemModel {
                     handle,
                 } => {
                     cursor += TimeDelta::from_nanos(150);
-                    let actions = self.nodes[node as usize].driver.post_recv(
+                    let mut actions = std::mem::take(&mut self.action_buf);
+                    self.nodes[node as usize].driver.post_recv_into(
                         cursor,
                         ep,
                         match_value,
                         match_mask,
                         handle,
+                        &mut actions,
                     );
-                    self.run_driver_actions(node, cursor, actions, None, sched);
+                    self.run_driver_actions(node, cursor, &mut actions, None, sched);
+                    self.action_buf = actions;
                 }
                 ActorCmd::Timer { at, token } => {
                     sched.schedule_at(at.max(cursor), Ev::AppTimer { node, ep, token });
@@ -835,6 +869,7 @@ impl Model for SystemModel {
                 self.apply_nic_outcome(node, now, out, sched);
             }
             Ev::CoalesceTimer { node, epoch } => {
+                self.nodes[node as usize].coalesce_timer_tok = None;
                 let out = self.nodes[node as usize].nic.on_timer(now, epoch);
                 if out != NicOutcome::default() {
                     self.trace(now, node, TraceKind::CoalesceTimer, || TraceData::Epoch {
@@ -845,24 +880,32 @@ impl Model for SystemModel {
             }
             Ev::IrqService { node, core } => {
                 // The handler reads the ring when it runs: claim everything
-                // ready right now.
-                let ready = self.nodes[node as usize].nic.drain_ready();
-                let frames: Vec<WireFrame> = ready
-                    .iter()
-                    .map(|r| self.nodes[node as usize].dma_remove(now, r.desc))
-                    .collect();
+                // ready right now. Ready descriptors, frames, and the packet
+                // batch all land in recycled buffers — steady-state dispatch
+                // allocates nothing.
+                let mut ready = std::mem::take(&mut self.ready_scratch);
+                self.nodes[node as usize].nic.drain_ready_into(&mut ready);
+                let mut frames = std::mem::take(&mut self.frame_scratch);
+                for r in &ready {
+                    frames.push(self.nodes[node as usize].dma_remove(now, r.desc));
+                }
+                ready.clear();
+                self.ready_scratch = ready;
                 let dur = self.batch_duration(node, core, &frames);
                 let end = self.nodes[node as usize].host.occupy_irq(core, now, dur);
-                let batch: Vec<Packet> = frames
-                    .into_iter()
-                    .filter_map(|f| match f {
-                        WireFrame::Omx(p) => Some(p),
-                        WireFrame::Raw { .. } => None, // dropped by the stack
-                    })
-                    .collect();
+                let mut batch = self.batch_pool.pop().unwrap_or_default();
+                batch.extend(frames.drain(..).filter_map(|f| match f {
+                    WireFrame::Omx(p) => Some(p),
+                    WireFrame::Raw { .. } => None, // dropped by the stack
+                }));
+                self.frame_scratch = frames;
                 sched.schedule_at(end, Ev::BatchDone { node, core, batch });
             }
-            Ev::BatchDone { node, core, batch } => {
+            Ev::BatchDone {
+                node,
+                core,
+                mut batch,
+            } => {
                 self.trace(now, node, TraceKind::BatchDone, || TraceData::Batch {
                     core,
                     packets: batch.len() as u32,
@@ -871,26 +914,40 @@ impl Model for SystemModel {
                 // hand the packets to the driver's protocol logic.
                 let out = self.nodes[node as usize].nic.enable_irq(now);
                 self.apply_nic_outcome(node, now, out, sched);
-                for pkt in batch {
-                    let actions = self.nodes[node as usize].driver.handle_packet(now, pkt);
-                    self.run_driver_actions(node, now, actions, Some(core), sched);
+                let mut actions = std::mem::take(&mut self.action_buf);
+                for pkt in batch.drain(..) {
+                    self.nodes[node as usize]
+                        .driver
+                        .handle_packet_into(now, pkt, &mut actions);
+                    self.run_driver_actions(node, now, &mut actions, Some(core), sched);
                 }
+                self.action_buf = actions;
+                self.batch_pool.push(batch);
             }
             Ev::DriverTimer { node } => {
                 let rt = &mut self.nodes[node as usize];
                 rt.driver_timer = None;
                 let due = rt.driver.next_deadline().is_some_and(|d| d <= now);
                 if due {
-                    let actions = rt.driver.on_timer(now);
-                    self.run_driver_actions(node, now, actions, None, sched);
-                } else if let Some(d) = rt.driver.next_deadline() {
+                    let mut actions = std::mem::take(&mut self.action_buf);
+                    self.nodes[node as usize]
+                        .driver
+                        .on_timer_into(now, &mut actions);
+                    self.run_driver_actions(node, now, &mut actions, None, sched);
+                    self.action_buf = actions;
+                } else if let Some(d) = self.nodes[node as usize].driver.next_deadline() {
+                    let rt = &mut self.nodes[node as usize];
                     rt.driver_timer = Some(d);
                     sched.schedule_at(d, Ev::DriverTimer { node });
                 }
             }
             Ev::ShmDeliver { node, pkt } => {
-                let actions = self.nodes[node as usize].driver.handle_packet(now, pkt);
-                self.run_driver_actions(node, now, actions, None, sched);
+                let mut actions = std::mem::take(&mut self.action_buf);
+                self.nodes[node as usize]
+                    .driver
+                    .handle_packet_into(now, pkt, &mut actions);
+                self.run_driver_actions(node, now, &mut actions, None, sched);
+                self.action_buf = actions;
             }
             Ev::AppStart { node, ep } => {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_start(ctx));
@@ -949,6 +1006,7 @@ impl Cluster {
                 in_dma: HashMap::new(),
                 pending_dma: TimeWeighted::default(),
                 driver_timer: None,
+                coalesce_timer_tok: None,
             })
             .collect();
         let model = SystemModel {
@@ -959,6 +1017,11 @@ impl Cluster {
             app_busy: HashMap::new(),
             stop: false,
             cmd_buf: Vec::new(),
+            action_buf: Vec::new(),
+            woken_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
+            batch_pool: Vec::new(),
             tracer: None,
         };
         Cluster {

@@ -137,6 +137,10 @@ pub struct Nic {
     /// Epoch of the currently armed timer; events with older epochs are stale.
     timer_epoch: u64,
     timer_armed: bool,
+    /// Recycled claim vectors: every snapshot taken by `try_raise` comes
+    /// from here and returns via `deliver`, so steady-state claim/drain
+    /// cycles allocate nothing.
+    spare_claims: Vec<Vec<ReadyPacket>>,
     counters: NicCounters,
 }
 
@@ -157,6 +161,7 @@ impl Nic {
             irq_latched: false,
             timer_epoch: 0,
             timer_armed: false,
+            spare_claims: Vec::new(),
             counters: NicCounters::default(),
         }
         .with_dma_cfg()
@@ -325,6 +330,14 @@ impl Nic {
         std::mem::take(&mut self.claimed)
     }
 
+    /// Allocation-free variant of [`Nic::drain_ready`]: append the claimed
+    /// packets to `out` (which the caller reuses across interrupts) and
+    /// keep the claim vector's capacity for the next snapshot.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<ReadyPacket>) {
+        out.extend_from_slice(&self.claimed);
+        self.claimed.clear();
+    }
+
     // -- internals -----------------------------------------------------------
 
     fn apply(&mut self, now: Time, decision: Decision, out: &mut NicOutcome) {
@@ -352,8 +365,11 @@ impl Nic {
             return;
         }
         self.irq_latched = false;
-        // Snapshot: this raise reports exactly the packets ready now.
-        let claim = std::mem::take(&mut self.ready);
+        // Snapshot: this raise reports exactly the packets ready now. The
+        // replacement vector comes from the recycle pool, so the swap does
+        // not allocate in steady state.
+        let fresh = self.spare_claims.pop().unwrap_or_default();
+        let claim = std::mem::replace(&mut self.ready, fresh);
         self.strategy.on_interrupt(now);
         // The strategy considers its timer reset after an interrupt;
         // invalidate any physically scheduled expiry to match.
@@ -378,7 +394,8 @@ impl Nic {
             let hold = now.as_nanos().saturating_sub(pkt.completed_at.as_nanos());
             self.counters.coalesce_hold_ns.record(hold);
         }
-        self.claimed = claim;
+        let drained = std::mem::replace(&mut self.claimed, claim);
+        self.spare_claims.push(drained);
         out.interrupt = true;
     }
 

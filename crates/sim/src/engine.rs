@@ -58,9 +58,25 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedule `event` after `delay_ns` nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `now + delay_ns` overflows the u64 nanosecond clock. A
+    /// wrapping add would schedule the event in the distant past and corrupt
+    /// the simulation silently in release builds; ~584 years of simulated
+    /// time is always a delay-computation bug.
     pub fn schedule_in(&mut self, delay_ns: u64, event: E) -> EventToken {
-        let at = Time::from_nanos(self.now.as_nanos() + delay_ns);
-        self.queue.push(at, event)
+        let at = self
+            .now
+            .as_nanos()
+            .checked_add(delay_ns)
+            .unwrap_or_else(|| {
+                panic!(
+                    "schedule_in overflows simulated time: now={} + delay={}ns \
+                     exceeds the u64 nanosecond clock",
+                    self.now, delay_ns
+                )
+            });
+        self.queue.push(Time::from_nanos(at), event)
     }
 
     /// Schedule `event` at the current instant (after all already-queued
@@ -159,8 +175,13 @@ impl<M: Model> Engine<M> {
     }
 
     /// Schedule an initial event before running.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the engine's current time, exactly like
+    /// [`Scheduler::schedule_at`] — priming after a previous `run` must not
+    /// move time backwards.
     pub fn prime(&mut self, at: Time, event: M::Event) -> EventToken {
-        self.sched.queue.push(at, event)
+        self.sched.schedule_at(at, event)
     }
 
     /// Run until the queue drains or `horizon` is passed (whichever first).
@@ -298,6 +319,37 @@ mod tests {
         let mut eng = Engine::new(Bad);
         eng.prime(Time::from_nanos(100), ());
         eng.run(Time::MAX, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_in overflows simulated time")]
+    fn schedule_in_overflow_panics() {
+        struct Overflow;
+        impl Model for Overflow {
+            type Event = ();
+            fn handle(&mut self, _now: Time, _ev: (), sched: &mut Scheduler<()>) {
+                // now is non-zero here, so now + u64::MAX wraps.
+                sched.schedule_in(u64::MAX, ());
+            }
+        }
+        let mut eng = Engine::new(Overflow);
+        eng.prime(Time::from_nanos(100), ());
+        eng.run(Time::MAX, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn priming_in_the_past_panics() {
+        let mut eng = Engine::new(Ticker {
+            period_ns: 100,
+            remaining: 0,
+            fired_at: Vec::new(),
+        });
+        eng.prime(Time::from_nanos(500), ());
+        eng.run(Time::MAX, u64::MAX);
+        assert_eq!(eng.now(), Time::from_nanos(500));
+        // Re-priming behind the clock must trip the invariant.
+        eng.prime(Time::from_nanos(10), ());
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! reproduction. It provides:
 //!
 //! * [`Time`] — a nanosecond-resolution simulated clock value,
-//! * [`EventQueue`] — a priority queue of timestamped events with stable
-//!   FIFO ordering among simultaneous events and O(log n) cancellation,
+//! * [`EventQueue`] — a slab-backed, index-tracked 4-ary heap hybridised
+//!   with a hierarchical timer wheel: stable FIFO ordering among
+//!   simultaneous events, true O(log n) cancellation (O(1) for
+//!   short-horizon timers, the coalescing re-arm pattern), and no hashing
+//!   or per-event allocation on the hot path,
 //! * [`Engine`] / [`Model`] — the simulation driver: a model consumes one
 //!   event at a time and schedules follow-up events through a [`Scheduler`],
 //! * [`rng`] — seeded deterministic random-number helpers so that every

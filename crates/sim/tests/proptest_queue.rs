@@ -67,6 +67,129 @@ fn cancellation_is_exact() {
     }
 }
 
+/// Model-based check: drive the real queue and a naive sorted-`Vec`
+/// reference model through arbitrary interleavings of push / cancel / pop /
+/// peek and assert every observable result is identical. The model is the
+/// executable spec of "ordered multiset keyed by (time, insertion seq)":
+/// whatever layout the queue uses internally (heap, wheel, slab reuse), its
+/// behaviour must be indistinguishable from this.
+#[test]
+fn queue_matches_sorted_vec_model() {
+    #[derive(Clone, Copy)]
+    struct ModelEntry {
+        time: u64,
+        seq: u64,
+        id: u64,
+    }
+
+    let mut rng = SimRng::new(0x5EED_0004);
+    for case in 0..256 {
+        let ops = rng.range_u64(1, 400) as usize;
+        let mut q = EventQueue::new();
+        // Reference: entries kept sorted by (time, seq); front pops first.
+        let mut model: Vec<ModelEntry> = Vec::new();
+        let mut seq = 0u64;
+        let mut next_id = 0u64;
+        // Live tokens, with a parallel list of (id, model-seq) for cancel.
+        let mut live: Vec<(omx_sim::EventToken, u64)> = Vec::new();
+        // Tokens already consumed (popped or cancelled); must stay dead.
+        let mut dead: Vec<omx_sim::EventToken> = Vec::new();
+        let mut floor = 0u64; // pops are monotone; pushes must respect it
+
+        for _ in 0..ops {
+            match rng.range_u64(0, 100) {
+                // Push (45%) — mix of short horizons (wheel-range) and far.
+                0..=44 => {
+                    let t = if rng.chance(0.7) {
+                        floor + rng.range_u64(0, 100_000) // within wheel spans
+                    } else {
+                        floor + rng.range_u64(0, 10_000_000_000) // far future
+                    };
+                    let id = next_id;
+                    next_id += 1;
+                    let tok = q.push(Time::from_nanos(t), id);
+                    let s = seq;
+                    seq += 1;
+                    let pos = model
+                        .binary_search_by_key(&(t, s), |e| (e.time, e.seq))
+                        .unwrap_err();
+                    model.insert(
+                        pos,
+                        ModelEntry {
+                            time: t,
+                            seq: s,
+                            id,
+                        },
+                    );
+                    live.push((tok, s));
+                }
+                // Cancel a live token (20%).
+                45..=64 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let k = rng.range_u64(0, live.len() as u64) as usize;
+                    let (tok, s) = live.swap_remove(k);
+                    assert!(q.cancel(tok), "case {case}: live token must cancel");
+                    let pos = model
+                        .iter()
+                        .position(|e| e.seq == s)
+                        .expect("model has live entry");
+                    model.remove(pos);
+                    dead.push(tok);
+                }
+                // Cancel a dead token (10%) — must be rejected.
+                65..=74 => {
+                    if let Some(&tok) = dead.last() {
+                        assert!(!q.cancel(tok), "case {case}: dead token cancelled");
+                    }
+                }
+                // Pop (15%).
+                75..=89 => {
+                    let got = q.pop();
+                    if model.is_empty() {
+                        assert!(got.is_none(), "case {case}: pop from empty");
+                    } else {
+                        let e = model.remove(0);
+                        let (at, id) = got.expect("model non-empty but pop was None");
+                        assert_eq!(
+                            (at.as_nanos(), id),
+                            (e.time, e.id),
+                            "case {case}: pop mismatch"
+                        );
+                        floor = e.time;
+                        let k = live.iter().position(|&(_, s)| s == e.seq).unwrap();
+                        let (tok, _) = live.swap_remove(k);
+                        dead.push(tok);
+                    }
+                }
+                // Peek (10%).
+                _ => {
+                    let expect = model.first().map(|e| e.time);
+                    assert_eq!(
+                        q.peek_time().map(|t| t.as_nanos()),
+                        expect,
+                        "case {case}: peek mismatch"
+                    );
+                }
+            }
+            assert_eq!(q.len(), model.len(), "case {case}: len mismatch");
+            assert_eq!(q.is_empty(), model.is_empty());
+        }
+
+        // Drain: the tail must come out exactly in model order.
+        while let Some(e) = if model.is_empty() {
+            None
+        } else {
+            Some(model.remove(0))
+        } {
+            let (at, id) = q.pop().expect("queue drained before model");
+            assert_eq!((at.as_nanos(), id), (e.time, e.id), "case {case}: drain");
+        }
+        assert!(q.pop().is_none());
+    }
+}
+
 /// Interleaved push/pop keeps the min-heap property observable: any pop
 /// returns a time ≥ the previous pop.
 #[test]
