@@ -2,6 +2,7 @@
 
 pub mod adaptive;
 pub mod coexistence;
+pub mod faults;
 pub mod fig4;
 pub mod jumbo;
 pub mod multiqueue;
@@ -23,6 +24,21 @@ pub fn paper_strategies() -> Vec<(&'static str, CoalescingStrategy)> {
         ("open-mx", CoalescingStrategy::OpenMx { delay_us: 75 }),
         ("stream", CoalescingStrategy::Stream { delay_us: 75 }),
     ]
+}
+
+/// All five implemented strategies: the paper's four columns plus the
+/// §VI adaptive strategy (used by the fault campaign, which must cover
+/// every recovery × coalescing interaction).
+pub fn all_strategies() -> Vec<(&'static str, CoalescingStrategy)> {
+    let mut s = paper_strategies();
+    s.push((
+        "adaptive",
+        CoalescingStrategy::Adaptive {
+            min_delay_us: 0,
+            max_delay_us: 75,
+        },
+    ));
+    s
 }
 
 /// Run independent jobs in parallel, preserving input order in the output.
@@ -74,5 +90,12 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert_eq!(s[0].0, "default");
         assert_eq!(s[1].0, "disabled");
+    }
+
+    #[test]
+    fn all_strategies_adds_adaptive() {
+        let s = all_strategies();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[4].0, "adaptive");
     }
 }

@@ -14,6 +14,8 @@
 //!   table3             packet mis-ordering vs stream coalescing (Table III)
 //!   table4 [prefix]    NAS execution times (Table IV); optional row filter
 //!   table5             NAS IS interrupt counts (Table V; implies the IS rows)
+//!   faults             fault-injection campaign: loss × strategy × size,
+//!                      ring overflow, sanitizer invariants (beyond paper)
 //!   adaptive           adaptive coalescing comparison (§VI)
 //!   coexistence        TCP/IP non-interference check (§IV/§VI)
 //!   multiqueue         flow-hashed IRQ steering (§VI future work)
@@ -34,10 +36,19 @@
 //! printed and written as JSON under `results/`.
 
 use omx_bench::experiments::{
-    adaptive, coexistence, fig4, jumbo, multiqueue, nas, overhead, pingpong, sensitivity, table1,
-    table2, table3,
+    adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, overhead, pingpong, sensitivity,
+    table1, table2, table3,
 };
 use omx_bench::write_json;
+
+/// Fail loudly if a results artifact could not be written: a benchmark whose
+/// output silently vanished is indistinguishable from one that succeeded.
+fn persist(what: &str, result: std::io::Result<()>) {
+    if let Err(e) = result {
+        eprintln!("failed to write {what}: {e}");
+        std::process::exit(1);
+    }
+}
 
 /// `(subcommand, one-line description)` for `omx-bench list`.
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -59,6 +70,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "NAS execution times (Table IV); optional row filter",
     ),
     ("table5", "NAS IS interrupt counts (Table V)"),
+    (
+        "faults",
+        "fault-injection campaign: loss × strategy × size (beyond paper)",
+    ),
     ("adaptive", "adaptive coalescing comparison (§VI)"),
     ("coexistence", "TCP/IP non-interference check (§IV/§VI)"),
     ("multiqueue", "flow-hashed IRQ steering (§VI future work)"),
@@ -118,6 +133,7 @@ fn main() {
         "table3" => run_table3(quick),
         "table4" => run_nas(&filter),
         "table5" => run_nas("is."),
+        "faults" => run_faults(quick),
         "adaptive" => run_adaptive(quick),
         "coexistence" => run_coexistence(),
         "multiqueue" => run_multiqueue(),
@@ -137,6 +153,7 @@ fn main() {
             run_multiqueue();
             run_jumbo(quick);
             run_sensitivity(quick);
+            run_faults(quick);
             run_nas(if quick { "is." } else { "" });
         }
         other => {
@@ -163,7 +180,10 @@ fn run_fig4(quick: bool) {
     println!("== Figure 4: message rate vs interrupt coalescing delay ==");
     let result = fig4::run(if quick { 600 } else { 2_000 });
     println!("{}", fig4::table(&result).render());
-    let _ = write_json("fig4_message_rate", &result);
+    persist(
+        "fig4_message_rate JSON",
+        write_json("fig4_message_rate", &result),
+    );
     // gnuplot: one column block per curve (delay, rate).
     let mut configs: Vec<String> = result.points.iter().map(|p| p.config.clone()).collect();
     configs.dedup();
@@ -178,17 +198,22 @@ fn run_fig4(quick: bool) {
         }
         rows.push(vec![String::new()]);
     }
-    let _ =
-        omx_bench::report::write_dat("fig4", "delay_us msgs_per_sec (blocks per config)", &rows);
-    let _ = omx_bench::report::write_gnuplot(
-        "fig4",
-        "set xlabel 'Interrupt coalescing (microseconds)'\n\
+    persist(
+        "fig4 dat",
+        omx_bench::report::write_dat("fig4", "delay_us msgs_per_sec (blocks per config)", &rows),
+    );
+    persist(
+        "fig4 gnuplot script",
+        omx_bench::report::write_gnuplot(
+            "fig4",
+            "set xlabel 'Interrupt coalescing (microseconds)'\n\
          set ylabel 'Messages received / second'\n\
          set key bottom right\n\
          plot 'fig4.dat' index 0 w lp t 'single core, no sleep', \\\n\
               '' index 1 w lp t 'single core, sleep possible', \\\n\
               '' index 2 w lp t 'all cores, sleep possible (default)'\n\
          pause -1\n",
+        ),
     );
 }
 
@@ -200,7 +225,7 @@ fn run_overhead(quick: bool) {
         "paper anchors: disabled {} ns, coalesced {} ns\n",
         result.paper_disabled_ns, result.paper_coalesced_ns
     );
-    let _ = write_json("overhead", &result);
+    persist("overhead JSON", write_json("overhead", &result));
 }
 
 fn run_pingpong(with_openmx: bool, quick: bool) {
@@ -212,7 +237,7 @@ fn run_pingpong(with_openmx: bool, quick: bool) {
     println!("== {label}: ping-pong transfer time ==");
     let result = pingpong::run(with_openmx, if quick { 20 } else { 60 });
     println!("{}", pingpong::table(&result).render());
-    let _ = write_json(name, &result);
+    persist("name JSON", write_json(name, &result));
     // gnuplot: blocks per strategy (size, normalized transfer time).
     let mut strategies: Vec<String> = result.points.iter().map(|p| p.strategy.clone()).collect();
     strategies.dedup();
@@ -224,14 +249,20 @@ fn run_pingpong(with_openmx: bool, quick: bool) {
         }
         rows.push(vec![String::new()]);
     }
-    let _ = omx_bench::report::write_dat(name, "size_bytes normalized_transfer_time", &rows);
-    let _ = omx_bench::report::write_gnuplot(
-        name,
-        &format!(
-            "set logscale x 2\nset xlabel 'Message size (bytes)'\n\
+    persist(
+        "name dat",
+        omx_bench::report::write_dat(name, "size_bytes normalized_transfer_time", &rows),
+    );
+    persist(
+        "name gnuplot script",
+        omx_bench::report::write_gnuplot(
+            name,
+            &format!(
+                "set logscale x 2\nset xlabel 'Message size (bytes)'\n\
              set ylabel 'Normalized Transfer Time'\nset key top right\n\
              plot for [i=0:{}] '{name}.dat' index i w lp t columnheader(1)\npause -1\n",
-            strategies.len() - 1
+                strategies.len() - 1
+            ),
         ),
     );
 }
@@ -240,7 +271,10 @@ fn run_table1() {
     println!("== Table I: message rate (msg/s) by size and strategy ==");
     let result = table1::run();
     println!("{}", table1::table(&result).render());
-    let _ = write_json("table1_message_rate", &result);
+    persist(
+        "table1_message_rate JSON",
+        write_json("table1_message_rate", &result),
+    );
 }
 
 fn run_table2(quick: bool) {
@@ -250,14 +284,17 @@ fn run_table2(quick: bool) {
     println!("{}", main.render());
     println!("-- §IV-C3 marker ablation (open-mx coalescing) --");
     println!("{}", ablation.render());
-    let _ = write_json("table2_anatomy", &result);
+    persist("table2_anatomy JSON", write_json("table2_anatomy", &result));
 }
 
 fn run_table3(quick: bool) {
     println!("== Table III: packet mis-ordering (32 KiB medium messages) ==");
     let result = table3::run(if quick { 40 } else { 200 });
     println!("{}", table3::table(&result).render());
-    let _ = write_json("table3_misordering", &result);
+    persist(
+        "table3_misordering JSON",
+        write_json("table3_misordering", &result),
+    );
 }
 
 fn run_nas(filter: &str) {
@@ -270,35 +307,38 @@ fn run_nas(filter: &str) {
     println!("{}", nas::table_iv(&result).render());
     println!("-- Table V: interrupts --");
     println!("{}", nas::table_v(&result).render());
-    let _ = write_json("table4_table5_nas", &result);
+    persist(
+        "table4_table5_nas JSON",
+        write_json("table4_table5_nas", &result),
+    );
 }
 
 fn run_coexistence() {
     println!("== §IV/§VI: TCP/IP coexistence (non-interference claim) ==");
     let result = coexistence::run();
     println!("{}", coexistence::table(&result).render());
-    let _ = write_json("coexistence", &result);
+    persist("coexistence JSON", write_json("coexistence", &result));
 }
 
 fn run_multiqueue() {
     println!("== §VI: multiqueue interrupt steering (future work) ==");
     let result = multiqueue::run(4, 1_000);
     println!("{}", multiqueue::table(&result).render());
-    let _ = write_json("multiqueue", &result);
+    persist("multiqueue JSON", write_json("multiqueue", &result));
 }
 
 fn run_jumbo(quick: bool) {
     println!("== §IV-A: jumbo frames (MTU 9000) ==");
     let result = jumbo::run(if quick { 20 } else { 50 });
     println!("{}", jumbo::table(&result).render());
-    let _ = write_json("jumbo", &result);
+    persist("jumbo JSON", write_json("jumbo", &result));
 }
 
 fn run_sensitivity(quick: bool) {
     println!("== Cost-model sensitivity: are the conclusions robust? ==");
     let result = sensitivity::run(if quick { 500 } else { 1_200 });
     println!("{}", sensitivity::table(&result).render());
-    let _ = write_json("sensitivity", &result);
+    persist("sensitivity JSON", write_json("sensitivity", &result));
 }
 
 fn run_perf(smoke: bool) {
@@ -318,5 +358,21 @@ fn run_adaptive(quick: bool) {
     println!("== §VI: adaptive coalescing ==");
     let result = adaptive::run(if quick { 20 } else { 60 }, quick);
     println!("{}", adaptive::table(&result).render());
-    let _ = write_json("adaptive", &result);
+    persist("adaptive JSON", write_json("adaptive", &result));
+}
+
+fn run_faults(quick: bool) {
+    println!("== Fault injection: loss × strategy × size, ring overflow ==");
+    let result = faults::run(quick);
+    println!("{}", faults::table(&result).render());
+    println!(
+        "{} cells, {} sanitizer violations",
+        result.cells.len(),
+        result
+            .cells
+            .iter()
+            .map(|c| c.sanitizer_violations)
+            .sum::<u64>()
+    );
+    persist("faults JSON", write_json("faults", &result));
 }

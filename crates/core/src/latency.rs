@@ -243,9 +243,14 @@ pub fn analyze(events: &[TraceEvent]) -> Vec<LatencyBreakdown> {
 
         // 5. The transmit, if still in the window. Message ids are
         // per-connection, so the anchor must match the direction too.
-        let transmit = events[..i].iter().find(|e| match e.data {
+        // A retransmission emits a second Transmit for the same id, so take
+        // the *last* one at or before the matched arrival — that is the
+        // copy that was actually delivered; anchoring on the first (lost)
+        // copy would book the whole RTO wait as wire time.
+        let transmit = events[..i].iter().rev().find(|e| match e.data {
             TraceData::Packet { pkt, .. } => {
                 e.kind == TraceKind::Transmit
+                    && e.at_ns <= t1
                     && pkt.hdr.src.node.0 == src
                     && pkt.hdr.dst.node.0 == node
                     && pkt.msg_id().map(|m| m.0) == Some(msg)
@@ -471,6 +476,88 @@ mod tests {
         assert_eq!(b.total_ns(), 89_000);
         assert_eq!(b.phase_sum(), b.total_ns());
         assert_eq!(b.dominant_phase().0, "coalesce_hold");
+    }
+
+    /// A lost first copy retransmitted 49 µs later: attribution must anchor
+    /// on the delivered (second) Transmit, not the first — otherwise the
+    /// whole RTO wait is booked as wire time.
+    #[test]
+    fn retransmitted_message_anchors_on_delivered_copy() {
+        let mut tr = Tracer::new(64);
+        // First copy, lost on the wire.
+        tr.record(
+            t(1_000),
+            0,
+            TraceKind::Transmit,
+            TraceData::Packet {
+                pkt: pkt(7),
+                desc: None,
+            },
+        );
+        // Retransmission after the RTO fires.
+        tr.record(
+            t(50_000),
+            0,
+            TraceKind::Transmit,
+            TraceData::Packet {
+                pkt: pkt(7),
+                desc: None,
+            },
+        );
+        tr.record(
+            t(55_000),
+            1,
+            TraceKind::FrameArrival,
+            TraceData::Packet {
+                pkt: pkt(7),
+                desc: Some(3),
+            },
+        );
+        tr.record(
+            t(56_000),
+            1,
+            TraceKind::DmaComplete,
+            TraceData::Desc { desc: 3 },
+        );
+        tr.record(
+            t(57_000),
+            1,
+            TraceKind::Interrupt,
+            TraceData::Irq {
+                core: 0,
+                start_ns: 58_000,
+                woken: false,
+            },
+        );
+        tr.record(
+            t(59_000),
+            1,
+            TraceKind::BatchDone,
+            TraceData::Batch {
+                core: 0,
+                packets: 1,
+            },
+        );
+        tr.record(
+            t(60_000),
+            1,
+            TraceKind::AppDelivery,
+            TraceData::Recv {
+                ep: 0,
+                src: 0,
+                msg: 7,
+                len: 0,
+            },
+        );
+        let events: Vec<TraceEvent> = tr.events().copied().collect();
+        let breakdowns = analyze(&events);
+        assert_eq!(breakdowns.len(), 1);
+        let b = breakdowns[0];
+        assert_eq!(b.start_ns, 50_000, "anchored on the retransmitted copy");
+        assert_eq!(b.wire_ns, 5_000, "wire time is the delivered copy's flight");
+        assert_eq!(b.dma_wait_ns, 1_000);
+        assert_eq!(b.total_ns(), 10_000);
+        assert_eq!(b.phase_sum(), b.total_ns());
     }
 
     #[test]

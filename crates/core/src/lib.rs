@@ -48,6 +48,7 @@ pub mod marking;
 pub mod matching;
 pub mod metrics;
 pub mod proto;
+pub mod sanitizer;
 pub mod system;
 pub mod trace;
 pub mod wire;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::latency::{LatencyBreakdown, PhaseSummary};
     pub use crate::marking::MarkingPolicy;
     pub use crate::metrics::ClusterMetrics;
+    pub use crate::sanitizer::SanitizerReport;
     pub use crate::system::{Cluster, ClusterBuilder};
     pub use crate::trace::{TraceEvent, TraceKind, Tracer};
     pub use crate::wire::{EndpointAddr, NodeId};

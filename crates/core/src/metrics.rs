@@ -101,6 +101,19 @@ impl ClusterMetrics {
     pub fn total_acks(&self) -> u64 {
         self.nodes.iter().map(|n| n.driver.acks_sent.get()).sum()
     }
+
+    /// Total packets dropped to NIC ring overflow.
+    pub fn total_ring_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.nic.ring_drops.get()).sum()
+    }
+
+    /// Total pull-block re-requests (receiver-side stall recovery).
+    pub fn total_pull_rerequests(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.driver.pull_rerequests.get())
+            .sum()
+    }
 }
 
 #[cfg(test)]

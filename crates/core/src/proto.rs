@@ -43,6 +43,13 @@ pub struct ProtoConfig {
     pub delayed_ack_ns: u64,
     /// Retransmission timeout (nanoseconds).
     pub rto_ns: u64,
+    /// On a retransmission timeout, resend at most this many packets from
+    /// the head of the unacked queue (go-back-N with a paced burst).
+    /// Resending the whole window at once can permanently livelock a small
+    /// RX ring: the burst's leading duplicates occupy every free slot of
+    /// each interrupt-service cycle while the head-of-line gap is dropped,
+    /// and the alignment repeats identically every timeout.
+    pub retx_burst: u32,
     /// Per-connection eager window, in packets.
     pub window_packets: u32,
     /// Marking policy applied by the send path.
@@ -56,6 +63,7 @@ impl Default for ProtoConfig {
             ack_every: 5,
             delayed_ack_ns: 100_000,
             rto_ns: 20_000_000,
+            retx_burst: 8,
             window_packets: 128,
             marking: MarkingPolicy::all(),
         }
@@ -141,6 +149,36 @@ omx_sim::impl_from_json!(DriverCounters {
 
 /// Key of the receiver-side per-message state (sender address + id).
 type MsgKey = (EndpointAddr, MsgId);
+
+/// One piece of protocol state that has not reached its terminal state:
+/// which message (or connection) it belongs to and which phase it is stuck
+/// in. At quiescence (empty event queue) every entry here is a liveness
+/// violation — nothing will ever resolve it — which is exactly what the sim
+/// sanitizer reports. Messages merely waiting for the *application* (an
+/// unposted receive) are not listed; they are legitimate steady states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEntry {
+    /// Protocol phase the entry is stuck in (`window-queued`,
+    /// `awaiting-ack`, `awaiting-notify`, `medium-reassembly`, `pull`).
+    pub phase: &'static str,
+    /// Rendered message key / connection and progress detail.
+    pub detail: String,
+}
+
+/// Convert a `u64` nanosecond config knob into a signed [`TimeDelta`],
+/// panicking with a clear message on overflow instead of silently wrapping
+/// negative (which would make every unacked packet retransmit on each timer
+/// tick). Same policy as `omx_sim`'s checked `schedule_in`.
+fn checked_delta(ns: u64, what: &str) -> TimeDelta {
+    let signed = i64::try_from(ns).unwrap_or_else(|_| {
+        panic!(
+            "ProtoConfig::{what} = {ns} ns overflows the signed nanosecond \
+             delta (max {} ns)",
+            i64::MAX
+        )
+    });
+    TimeDelta::from_nanos(signed)
+}
 
 #[derive(Debug)]
 struct Endpoint {
@@ -336,6 +374,9 @@ impl NodeDriver {
         };
         if let Some(unexpected) = self.endpoints[ep as usize].matcher.post_recv(posted) {
             self.claim_unexpected(now, ep, handle, unexpected, actions);
+            // Claiming a large message starts a pull whose requests can all
+            // be lost; the stall re-request needs a live timer.
+            self.arm_timer_action(actions);
         }
     }
 
@@ -378,6 +419,10 @@ impl NodeDriver {
             },
             actions,
         );
+        // The packets just emitted are unacked: without a live retransmit
+        // timer a loss with no subsequent reverse traffic (e.g. the last
+        // message of a run) would strand the message forever.
+        self.arm_timer_action(actions);
     }
 
     /// A packet addressed to this node was delivered by the receive handler.
@@ -497,15 +542,24 @@ impl NodeDriver {
             self.send_standalone_ack(now, ep, remote, actions);
         }
 
-        // Eager retransmissions.
-        let rto = TimeDelta::from_nanos(self.cfg.rto_ns as i64);
+        // Eager retransmissions: go-back-N, triggered by the queue head and
+        // limited to a short head burst. Cumulative acks for the resent head
+        // then clock out the next burst, so recovery is paced at roughly one
+        // burst per round trip instead of one full window per RTO.
+        let rto = checked_delta(self.cfg.rto_ns, "rto_ns");
+        let burst = self.cfg.retx_burst.max(1) as usize;
         let mut resends: Vec<Packet> = Vec::new();
         for c in self.conns.values_mut() {
-            for (_, pkt, sent_at) in c.unacked.iter_mut() {
-                if now.saturating_since(*sent_at) >= rto {
-                    *sent_at = now;
-                    resends.push(*pkt);
-                }
+            let head_overdue = c
+                .unacked
+                .front()
+                .is_some_and(|(_, _, sent_at)| now.saturating_since(*sent_at) >= rto);
+            if !head_overdue {
+                continue;
+            }
+            for (_, pkt, sent_at) in c.unacked.iter_mut().take(burst) {
+                *sent_at = now;
+                resends.push(*pkt);
             }
         }
         for pkt in resends {
@@ -558,7 +612,7 @@ impl NodeDriver {
 
     /// Earliest pending deadline (retransmit or delayed ack), if any.
     pub fn next_deadline(&self) -> Option<Time> {
-        let rto = TimeDelta::from_nanos(self.cfg.rto_ns as i64);
+        let rto = checked_delta(self.cfg.rto_ns, "rto_ns");
         let mut next: Option<Time> = None;
         let mut consider = |t: Time| {
             next = Some(match next {
@@ -570,6 +624,12 @@ impl NodeDriver {
             if let Some(d) = c.ack_deadline {
                 consider(d);
             }
+            // Retransmission is triggered by the queue head alone, so the
+            // head carries the only retransmit deadline. Entries behind a
+            // refreshed head can hold *older* send times; deriving a
+            // deadline from them would fire the timer before the head is
+            // overdue, resend nothing, and re-arm at the same stale instant
+            // forever.
             if let Some((_, _, sent_at)) = c.unacked.front() {
                 consider(*sent_at + rto);
             }
@@ -818,7 +878,7 @@ impl NodeDriver {
         actions: &mut Vec<DriverAction>,
     ) {
         let (should_ack_now, arm) = {
-            let delayed = TimeDelta::from_nanos(self.cfg.delayed_ack_ns as i64);
+            let delayed = checked_delta(self.cfg.delayed_ack_ns, "delayed_ack_ns");
             let ack_every = self.cfg.ack_every;
             let conn = self.conn(ep, remote);
             conn.unacked_rx += 1;
@@ -1255,6 +1315,88 @@ impl NodeDriver {
         }
     }
 
+    /// Enumerate protocol state that has not reached its terminal phase —
+    /// the sim sanitizer's no-stranded-message watchdog. Every entry names
+    /// the stuck message's key and phase. Messages waiting only on the
+    /// application (a complete medium or an unexpected small/rendezvous
+    /// with no posted receive) are *not* listed: the protocol has done its
+    /// part and the driver holds them indefinitely by design.
+    pub fn pending_report(&self, out: &mut Vec<PendingEntry>) {
+        for ((ep, remote), conn) in &self.conns {
+            for send in &conn.queued {
+                out.push(PendingEntry {
+                    phase: "window-queued",
+                    detail: format!(
+                        "node {} ep {ep} -> {:?}: handle {} len {} waiting for window credits",
+                        self.local, remote, send.handle, send.len
+                    ),
+                });
+            }
+            if let Some((seq, _, sent_at)) = conn.unacked.front() {
+                out.push(PendingEntry {
+                    phase: "awaiting-ack",
+                    detail: format!(
+                        "node {} ep {ep} -> {:?}: {} unacked eager packet(s), oldest seq {} sent at {}",
+                        self.local,
+                        remote,
+                        conn.unacked.len(),
+                        seq,
+                        sent_at
+                    ),
+                });
+            }
+        }
+        let mut larges: Vec<(u64, String)> = self
+            .sends
+            .iter()
+            .map(|(msg, SendState::Large { ep, dst, len, .. })| {
+                (
+                    msg.0,
+                    format!(
+                        "node {} msg {} ep {ep} -> {dst:?}: large send of {len} B awaiting notify",
+                        self.local, msg.0
+                    ),
+                )
+            })
+            .collect();
+        larges.sort_unstable();
+        out.extend(larges.into_iter().map(|(_, detail)| PendingEntry {
+            phase: "awaiting-notify",
+            detail,
+        }));
+        let mut mediums: Vec<(u64, String)> = self
+            .mediums
+            .iter()
+            .filter(|(_, m)| (m.received.len() as u32) < m.frag_count)
+            .map(|((src, msg), m)| {
+                (
+                    msg.0,
+                    format!(
+                        "node {} msg {} from {src:?}: medium reassembly stuck at {}/{} fragments",
+                        self.local,
+                        msg.0,
+                        m.received.len(),
+                        m.frag_count
+                    ),
+                )
+            })
+            .collect();
+        mediums.sort_unstable();
+        out.extend(mediums.into_iter().map(|(_, detail)| PendingEntry {
+            phase: "medium-reassembly",
+            detail,
+        }));
+        for ((src, msg), p) in self.pulls.iter().filter(|(_, p)| !p.done) {
+            out.push(PendingEntry {
+                phase: "pull",
+                detail: format!(
+                    "node {} msg {} from {src:?}: pull stuck at {}/{} blocks ({} frames expected)",
+                    self.local, msg.0, p.blocks_done, p.total_blocks, p.total_frames
+                ),
+            });
+        }
+    }
+
     fn arm_timer_action(&self, actions: &mut Vec<DriverAction>) {
         if let Some(at) = self.next_deadline() {
             actions.push(DriverAction::ArmTimer { at });
@@ -1668,5 +1810,153 @@ mod tests {
             (0.14..=0.20).contains(&share),
             "ack share {share} not ~1/6 of total"
         );
+    }
+
+    /// A lone send whose only packet is lost must still be recoverable: the
+    /// post itself has to arm the retransmit timer, because with no reverse
+    /// traffic nothing else ever will.
+    #[test]
+    fn lone_post_send_arms_retransmit_timer() {
+        let (mut a, _) = pair();
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, 7, 200);
+        assert!(
+            actions
+                .iter()
+                .any(|x| matches!(x, DriverAction::ArmTimer { .. })),
+            "posting a send must arm the timer: {actions:?}"
+        );
+        let deadline = a.next_deadline().expect("unacked packet has a deadline");
+        // Drop the packet on the floor; the timer must retransmit it.
+        let acts = a.on_timer(deadline);
+        let (pkts, _) = split_transmits(acts);
+        assert_eq!(pkts.len(), 1, "retransmission of the lost packet");
+        assert_eq!(a.counters().eager_retransmits.get(), 1);
+    }
+
+    /// A timeout resends only a bounded head burst (go-back-N pacing), not
+    /// the whole unacked queue: blasting the full window into a small RX
+    /// ring can livelock recovery (the burst's duplicate prefix claims every
+    /// free slot each service cycle while the head-of-line gap is dropped).
+    #[test]
+    fn timeout_resends_only_the_head_burst() {
+        let cfg = ProtoConfig {
+            retx_burst: 4,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let dst = EndpointAddr::new(1, 0);
+        for i in 0..20 {
+            a.post_send(t0(), 0, dst, 64, i, i);
+        }
+        let rto = TimeDelta::from_nanos(cfg.rto_ns as i64);
+        let fire = t0() + rto;
+        let (resent, _) = split_transmits(a.on_timer(fire));
+        assert_eq!(resent.len(), 4, "burst capped at retx_burst");
+        let seqs: Vec<u64> = resent.iter().map(|p| p.hdr.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4], "oldest-first from the queue head");
+        assert_eq!(a.counters().eager_retransmits.get(), 4);
+        // The head was just refreshed: the very next deadline is a full RTO
+        // out, derived from the head — stale tail send times must not pull
+        // it backwards (that would spin the timer without resending).
+        assert_eq!(a.next_deadline(), Some(fire + rto));
+        let (again, _) = split_transmits(a.on_timer(fire + TimeDelta::from_micros(1)));
+        assert!(again.is_empty(), "head not overdue, nothing resent");
+    }
+
+    /// Once the resent head is cumulatively acked, the next (previously
+    /// beyond-burst) packets become the head with their original stale send
+    /// times, so the re-armed timer fires promptly and resends them: paced
+    /// recovery makes progress burst by burst.
+    #[test]
+    fn acked_head_burst_clocks_out_the_next_burst() {
+        let cfg = ProtoConfig {
+            retx_burst: 4,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        let dst = EndpointAddr::new(1, 0);
+        for i in 0..8 {
+            a.post_send(t0(), 0, dst, 64, i, i);
+        }
+        let rto = TimeDelta::from_nanos(cfg.rto_ns as i64);
+        let fire = t0() + rto;
+        let (resent, _) = split_transmits(a.on_timer(fire));
+        assert_eq!(resent.len(), 4);
+        // Cumulative ack for the resent head (seqs 1-4).
+        let ack = Packet {
+            hdr: OmxHeader {
+                src: dst,
+                dst: EndpointAddr::new(0, 0),
+                latency_sensitive: false,
+                seq: 0,
+                ack: 0,
+            },
+            kind: PacketKind::Ack { cumulative_seq: 4 },
+        };
+        a.handle_packet(fire + TimeDelta::from_micros(50), ack);
+        // Seqs 5-8 are now the head, still carrying their t0 send times:
+        // the deadline is already past, and the next tick resends them.
+        let next = a.next_deadline().expect("unacked remain");
+        assert_eq!(next, t0() + rto, "stale head fires promptly");
+        let (resent, _) = split_transmits(a.on_timer(fire + TimeDelta::from_micros(51)));
+        let seqs: Vec<u64> = resent.iter().map(|p| p.hdr.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rto_ns")]
+    fn oversized_rto_panics_with_clear_message() {
+        let cfg = ProtoConfig {
+            rto_ns: u64::MAX,
+            ..ProtoConfig::default()
+        };
+        let mut a = NodeDriver::new(0, 1, cfg);
+        a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, 7, 200);
+        // Computing the deadline converts rto_ns; u64::MAX overflows i64.
+        let _ = a.next_deadline();
+    }
+
+    #[test]
+    fn pending_report_names_key_and_phase() {
+        let (mut a, mut b) = pair();
+        assert!(report_of(&a).is_empty(), "fresh driver has nothing pending");
+
+        // Unacked eager packet: drop it on the floor.
+        a.post_send(t0(), 0, EndpointAddr::new(1, 0), 64, 7, 200);
+        let entries = report_of(&a);
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        assert_eq!(entries[0].phase, "awaiting-ack");
+        assert!(entries[0].detail.contains("seq 1"), "{}", entries[0].detail);
+
+        // Large send: sender waits for the pull/notify handshake.
+        let actions = a.post_send(t0(), 0, EndpointAddr::new(1, 0), 1 << 20, 8, 201);
+        let (pkts, _) = split_transmits(actions);
+        assert!(report_of(&a)
+            .iter()
+            .any(|e| e.phase == "awaiting-notify" && e.detail.contains("1048576 B")));
+
+        // Deliver the rendezvous with no posted receive: the receiver holds
+        // it as unexpected — that is app-waiting, not stranded.
+        for p in pkts {
+            b.handle_packet(t0(), p);
+        }
+        assert!(
+            report_of(&b).is_empty(),
+            "unexpected rendezvous is awaiting the app, not stranded: {:?}",
+            report_of(&b)
+        );
+
+        // Posting the receive starts the pull; until replies arrive the
+        // pull is pending on the receiver.
+        b.post_recv(t0(), 0, 0, 0, 300);
+        assert!(report_of(&b)
+            .iter()
+            .any(|e| e.phase == "pull" && e.detail.contains("0/")));
+    }
+
+    fn report_of(d: &NodeDriver) -> Vec<PendingEntry> {
+        let mut out = Vec::new();
+        d.pending_report(&mut out);
+        out
     }
 }

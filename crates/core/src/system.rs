@@ -26,6 +26,7 @@
 
 use crate::metrics::{ClusterMetrics, NodeMetrics};
 use crate::proto::{DriverAction, NodeDriver, ProtoConfig};
+use crate::sanitizer::{Sanitizer, SanitizerReport};
 use crate::trace::{TraceData, TraceKind, Tracer};
 use crate::wire::{EndpointAddr, MsgId, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
 use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
@@ -453,6 +454,8 @@ struct SystemModel {
     batch_pool: Vec<Vec<Packet>>,
     /// Optional packet-level event trace.
     tracer: Option<Tracer>,
+    /// Invariant recorder (posted / delivered / completed accounting).
+    sanitizer: Sanitizer,
 }
 
 impl SystemModel {
@@ -749,6 +752,7 @@ impl SystemModel {
                     match_info,
                     handle,
                 } => {
+                    self.sanitizer.on_send_posted(node, dst.node.0, len);
                     let eager_len = len.min(crate::wire::MEDIUM_MAX);
                     let frags = crate::wire::frag_count(eager_len, self.cfg.proto.mtu) as u64;
                     let cpu = costs.send_post_ns
@@ -953,6 +957,8 @@ impl Model for SystemModel {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_start(ctx));
             }
             Ev::AppRecv { node, ep, c } => {
+                self.sanitizer
+                    .on_delivered(c.src.node.0, node, c.msg.0, c.len);
                 self.trace(now, node, TraceKind::AppDelivery, || TraceData::Recv {
                     ep,
                     src: c.src.node.0,
@@ -962,6 +968,7 @@ impl Model for SystemModel {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_recv_complete(ctx, c));
             }
             Ev::AppSend { node, ep, handle } => {
+                self.sanitizer.on_send_completed();
                 self.with_actor(node, ep, now, sched, |a, ctx| {
                     a.on_send_complete(ctx, handle)
                 });
@@ -1023,6 +1030,7 @@ impl Cluster {
             frame_scratch: Vec::new(),
             batch_pool: Vec::new(),
             tracer: None,
+            sanitizer: Sanitizer::default(),
         };
         Cluster {
             engine: Engine::new(model),
@@ -1093,8 +1101,59 @@ impl Cluster {
                 self.engine.prime(Time::ZERO, Ev::AppStart { node, ep });
             }
         }
-        self.engine
-            .run_until(horizon, u64::MAX, |m: &SystemModel| m.stop)
+        let stop = self
+            .engine
+            .run_until(horizon, u64::MAX, |m: &SystemModel| m.stop);
+        // Quiescence means every queued event drained: any protocol state
+        // still mid-flight is stranded forever, and any packet the NIC
+        // still owes the host will never raise an interrupt. Both are
+        // always bugs (unlike byte conservation, which depends on the
+        // workload posting matching receives), so check them automatically
+        // in debug builds — i.e. always-on-in-tests.
+        if stop == StopCondition::QueueEmpty && cfg!(debug_assertions) {
+            let report = self.sanitize();
+            assert!(
+                report.violations.is_empty(),
+                "sim sanitizer: liveness violations at quiescence:\n  {}",
+                report.violations.join("\n  ")
+            );
+        }
+        stop
+    }
+
+    /// Check the sim-sanitizer invariants against the current state: the
+    /// run-time delivery accounting plus, per node, stranded protocol state
+    /// ([`NodeDriver::pending_report`]) and NIC interrupt liveness
+    /// ([`Nic::pending_work`]). Only meaningful once a run has drained to
+    /// [`StopCondition::QueueEmpty`] — mid-flight state is not a bug while
+    /// events remain. See [`crate::sanitizer`] for the invariant split.
+    pub fn sanitize(&self) -> SanitizerReport {
+        let m = self.engine.model();
+        let mut report = m.sanitizer.report();
+        let mut pending = Vec::new();
+        for rt in &m.nodes {
+            rt.driver.pending_report(&mut pending);
+        }
+        report.violations.extend(
+            pending
+                .drain(..)
+                .map(|e| format!("stranded message [{}]: {}", e.phase, e.detail)),
+        );
+        for (i, rt) in m.nodes.iter().enumerate() {
+            let owed = rt.nic.pending_work();
+            if owed > 0 {
+                report.violations.push(format!(
+                    "interrupt liveness: node {i} NIC still owes the host {owed} packet(s)"
+                ));
+            }
+            if !rt.in_dma.is_empty() {
+                report.violations.push(format!(
+                    "interrupt liveness: node {i} has {} frame(s) stuck in DMA",
+                    rt.in_dma.len()
+                ));
+            }
+        }
+        report
     }
 
     /// Current simulated time.

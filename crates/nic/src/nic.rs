@@ -203,6 +203,17 @@ impl Nic {
         self.irq_enabled
     }
 
+    /// Total packets the NIC still owes the host: DMAs in flight, ready
+    /// packets awaiting an interrupt, and claim snapshots not yet serviced.
+    /// Non-zero at quiescence means an interrupt-liveness violation — a
+    /// coalescer held packets forever without raising.
+    pub fn pending_work(&self) -> usize {
+        self.dma.pending()
+            + self.ready.len()
+            + self.claimed.len()
+            + self.pending_claims.iter().map(Vec::len).sum::<usize>()
+    }
+
     // -- event entry points -------------------------------------------------
 
     /// A frame arrived off the wire at `now`.
