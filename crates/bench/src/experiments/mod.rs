@@ -9,6 +9,7 @@ pub mod multiqueue;
 pub mod nas;
 pub mod overhead;
 pub mod pingpong;
+pub mod scale;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;

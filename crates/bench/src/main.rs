@@ -16,6 +16,8 @@
 //!   table5             NAS IS interrupt counts (Table V; implies the IS rows)
 //!   faults             fault-injection campaign: loss × strategy × size,
 //!                      ring overflow, sanitizer invariants (beyond paper)
+//!   scale              collectives on 4-64 switched nodes × strategy, with
+//!                      bounded switch egress buffers (beyond paper)
 //!   adaptive           adaptive coalescing comparison (§VI)
 //!   coexistence        TCP/IP non-interference check (§IV/§VI)
 //!   multiqueue         flow-hashed IRQ steering (§VI future work)
@@ -36,8 +38,8 @@
 //! printed and written as JSON under `results/`.
 
 use omx_bench::experiments::{
-    adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, overhead, pingpong, sensitivity,
-    table1, table2, table3,
+    adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, overhead, pingpong, scale,
+    sensitivity, table1, table2, table3,
 };
 use omx_bench::write_json;
 
@@ -73,6 +75,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "faults",
         "fault-injection campaign: loss × strategy × size (beyond paper)",
+    ),
+    (
+        "scale",
+        "collectives on 4-64 switched nodes × strategy (beyond paper)",
     ),
     ("adaptive", "adaptive coalescing comparison (§VI)"),
     ("coexistence", "TCP/IP non-interference check (§IV/§VI)"),
@@ -134,6 +140,7 @@ fn main() {
         "table4" => run_nas(&filter),
         "table5" => run_nas("is."),
         "faults" => run_faults(quick),
+        "scale" => run_scale(quick),
         "adaptive" => run_adaptive(quick),
         "coexistence" => run_coexistence(),
         "multiqueue" => run_multiqueue(),
@@ -154,6 +161,7 @@ fn main() {
             run_jumbo(quick);
             run_sensitivity(quick);
             run_faults(quick);
+            run_scale(quick);
             run_nas(if quick { "is." } else { "" });
         }
         other => {
@@ -352,6 +360,23 @@ fn run_perf(smoke: bool) {
         Ok(()) => println!("wrote BENCH_sim.json"),
         Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
     }
+}
+
+fn run_scale(quick: bool) {
+    println!("== Scale-out collectives: nodes x strategy, bounded switch buffers ==");
+    let result = scale::run(quick);
+    println!("{}", scale::table(&result).render());
+    println!(
+        "{} cells, {} switch drops, {} sanitizer violations",
+        result.cells.len(),
+        result.cells.iter().map(|c| c.switch_drops).sum::<u64>(),
+        result
+            .cells
+            .iter()
+            .map(|c| c.sanitizer_violations)
+            .sum::<u64>()
+    );
+    persist("scale JSON", write_json("scale", &result));
 }
 
 fn run_adaptive(quick: bool) {

@@ -1,4 +1,62 @@
 //! Result formatting and persistence.
+//!
+//! Every experiment persists its result struct as pretty-printed JSON
+//! under `results/<name>.json` via [`write_json`]. The JSON shape is the
+//! struct's field list, verbatim (see `omx_sim::impl_to_json!`); renderings
+//! are deterministic — fixed seeds give byte-identical files, which the
+//! golden tests in `crates/bench/tests/` rely on. The schemas by
+//! experiment family:
+//!
+//! ## Message-rate family
+//!
+//! - `fig4_message_rate.json` — `{points: [{config, delay_us,
+//!   msgs_per_sec, interrupts_per_msg, wakeups}]}`: one point per
+//!   coalescing delay × host config curve of Fig. 4.
+//! - `table1_message_rate.json` — `{cells: [{msg_len, strategy,
+//!   msgs_per_sec, interrupts_per_msg}]}`: Table I, size × strategy.
+//! - `overhead.json` — `{rows: [{config, per_packet_ns, interrupts,
+//!   packets}], paper_disabled_ns, paper_coalesced_ns}`: §IV-B2 per-packet
+//!   interrupt overhead against the paper's anchors.
+//!
+//! ## Latency family
+//!
+//! - `fig5_pingpong.json` / `fig6_pingpong.json` — `{with_openmx, points:
+//!   [{strategy, msg_len, half_rtt_ns, normalized}]}`: ping-pong transfer
+//!   time by size, absolute and normalized to the disabled strategy.
+//! - `table2_anatomy.json` — `{rows: [{strategy, transfer_ns,
+//!   interrupts}], ablation: [{removed, transfer_ns, delta_ns}]}`: the
+//!   234 KiB anatomy plus the §IV-C3 marker ablation.
+//! - `table3_misordering.json` — `{cells: [{strategy, degree,
+//!   transfer_ns, interrupts_per_msg}]}`: mis-ordering degree × strategy.
+//! - `jumbo.json` — `{cells: [{mtu, msg_len, strategy, half_rtt_ns}]}`.
+//!
+//! ## Application family
+//!
+//! - `table4_table5_nas.json` — `{cells: [{name, strategy, seconds,
+//!   interrupts, stolen_s}]}`: NAS kernel × strategy execution times
+//!   (Table IV) and interrupt counts (Table V).
+//! - `adaptive.json` — `{rows: [{workload, strategy, value}]}`: §VI
+//!   adaptive-coalescing comparison across workload archetypes.
+//! - `coexistence.json`, `multiqueue.json`, `sensitivity.json` — scalar
+//!   row sets for the §VI side studies (field lists in their modules).
+//!
+//! ## Robustness campaigns (beyond the paper)
+//!
+//! - `faults.json` — `{cells: [{scenario, msg_len, loss, strategy,
+//!   messages, completion_ns, msgs_per_sec, goodput_mbps, recovery_ratio,
+//!   eager_retransmits, pull_rerequests, ring_drops, frames_dropped,
+//!   sanitizer_violations}]}`: loss × strategy × size plus ring-pressure
+//!   cells; every cell drains to quiescence under sanitizer invariants.
+//! - `scale.json` — `{cells: [{collective, bytes, nodes, ranks, strategy,
+//!   iterations, completion_ns, total_interrupts, interrupts_per_node,
+//!   switch_drops, switch_occupancy_peak, retransmits,
+//!   sanitizer_violations}]}`: collectives on 4–64 switched nodes with
+//!   bounded switch egress buffers (see
+//!   [`crate::experiments::scale`]).
+//!
+//! `BENCH_sim.json` (repo root, written by `omx-bench perf`) is the
+//! substrate micro-benchmark baseline; its schema is documented in
+//! [`crate::perf`].
 
 use std::fmt::Write as _;
 use std::path::Path;

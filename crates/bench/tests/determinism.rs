@@ -32,3 +32,39 @@ fn table1_results_are_byte_identical_to_golden() {
          --- golden ---\n{GOLDEN}\n--- got ---\n{rendered}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Scale campaign determinism
+// ---------------------------------------------------------------------------
+
+use omx_bench::experiments::scale;
+
+const SCALE_GOLDEN: &str = include_str!("golden/scale_cell.json");
+
+/// One representative scale cell (16-node 64 KiB allreduce, default
+/// strategy) pinned byte-for-byte. Regenerate after intentional changes:
+/// `cargo run --release -p omx-bench --example` is not needed — the test
+/// prints the new rendering on mismatch; paste it into
+/// `crates/bench/tests/golden/scale_cell.json`.
+#[test]
+fn scale_cell_is_byte_identical_to_golden() {
+    let rendered = scale::golden_cell().to_json().render_pretty();
+    assert!(
+        rendered == SCALE_GOLDEN,
+        "the golden scale cell diverged.\n\
+         If this change is intentional, update\n\
+         crates/bench/tests/golden/scale_cell.json. Otherwise the scale-out\n\
+         path is no longer deterministic.\n\
+         --- golden ---\n{SCALE_GOLDEN}\n--- got ---\n{rendered}"
+    );
+}
+
+/// The full quick campaign renders byte-identically across two in-process
+/// runs — the same property `omx-bench scale` relies on for its
+/// `results/scale.json` artifact.
+#[test]
+fn scale_quick_report_is_byte_identical_across_runs() {
+    let a = scale::run(true).to_json().render_pretty();
+    let b = scale::run(true).to_json().render_pretty();
+    assert!(a == b, "scale quick report differs between two runs");
+}

@@ -46,6 +46,13 @@ pub struct ClusterMetrics {
     pub frames_carried: u64,
     /// Frames the fabric dropped (injected loss).
     pub frames_dropped: u64,
+    /// Frames tail-dropped at a full switch egress buffer (zero unless
+    /// [`omx_fabric::FabricConfig::switch_buffer_frames`] is bounded).
+    pub switch_drops: u64,
+    /// Deepest any switch egress buffer ever got, in frames.
+    pub switch_occupancy_peak: u64,
+    /// Per-egress-port time-weighted queue-depth gauge (index = port/node id).
+    pub switch_queue_depth: Vec<TimeWeighted>,
     /// Per-node counters.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -54,12 +61,18 @@ omx_sim::impl_to_json!(ClusterMetrics {
     sim_time_ns,
     frames_carried,
     frames_dropped,
+    switch_drops,
+    switch_occupancy_peak,
+    switch_queue_depth,
     nodes,
 });
 omx_sim::impl_from_json!(ClusterMetrics {
     sim_time_ns,
     frames_carried,
     frames_dropped,
+    switch_drops,
+    switch_occupancy_peak,
+    switch_queue_depth,
     nodes,
 });
 
@@ -145,6 +158,9 @@ mod tests {
             sim_time_ns: 1_000,
             frames_carried: 10,
             frames_dropped: 1,
+            switch_drops: 0,
+            switch_occupancy_peak: 0,
+            switch_queue_depth: vec![],
             nodes: vec![node_with(5, 2, 7), node_with(3, 4, 1)],
         };
         assert_eq!(m.total_interrupts(), 8);
@@ -162,6 +178,9 @@ mod tests {
             sim_time_ns: 0,
             frames_carried: 0,
             frames_dropped: 0,
+            switch_drops: 0,
+            switch_occupancy_peak: 0,
+            switch_queue_depth: vec![],
             nodes: vec![],
         };
         assert_eq!(m.total_interrupts(), 0);
@@ -174,6 +193,9 @@ mod tests {
             sim_time_ns: 42,
             frames_carried: 1,
             frames_dropped: 0,
+            switch_drops: 3,
+            switch_occupancy_peak: 2,
+            switch_queue_depth: vec![TimeWeighted::default()],
             nodes: vec![node_with(1, 1, 1)],
         };
         // The bench harness persists these; the shape must stay stable.

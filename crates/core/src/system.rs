@@ -150,6 +150,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Bound each switch egress buffer to `frames` (tail-drop on overflow).
+    /// The default is effectively unbounded; see
+    /// [`omx_fabric::FabricConfig::switch_buffer_frames`].
+    pub fn switch_buffer_frames(mut self, frames: u32) -> Self {
+        self.cfg.fabric.switch_buffer_frames = frames;
+        self
+    }
+
     /// Set the fabric MTU (fragmentation follows; §IV-A notes jumbo frames
     /// exhibit the same behaviour at proportionally larger sizes).
     pub fn mtu(mut self, mtu: u32) -> Self {
@@ -564,8 +572,9 @@ impl SystemModel {
                     },
                 );
             }
-            TransmitOutcome::Lost => {
-                // The retransmission machinery recovers; nothing to schedule.
+            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {
+                // Wire loss or switch-egress tail drop: the retransmission
+                // machinery recovers; nothing to schedule.
             }
         }
     }
@@ -594,7 +603,7 @@ impl SystemModel {
                     },
                 );
             }
-            TransmitOutcome::Lost => {}
+            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {}
         }
     }
 
@@ -1182,6 +1191,11 @@ impl Cluster {
             sim_time_ns: self.engine.now().as_nanos(),
             frames_carried: m.fabric.frames_carried(),
             frames_dropped: m.fabric.frames_dropped(),
+            switch_drops: m.fabric.switch_drops(),
+            switch_occupancy_peak: m.fabric.switch_occupancy_peak(),
+            switch_queue_depth: (0..m.cfg.nodes)
+                .map(|p| m.fabric.switch_queue_depth_at(PortId(p)).clone())
+                .collect(),
             nodes: m
                 .nodes
                 .iter()

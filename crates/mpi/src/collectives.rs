@@ -30,6 +30,17 @@ pub enum RoundAction {
         /// Source rank.
         peer: usize,
     },
+    /// Send to one rank while receiving from a *different* rank (the
+    /// dissemination/ring pattern non-power-of-two worlds need; a
+    /// power-of-two exchange is the special case `to == from`).
+    SendRecv {
+        /// Destination rank.
+        to: usize,
+        /// Source rank.
+        from: usize,
+        /// Bytes sent (the reverse volume is the sender's own entry).
+        bytes: u32,
+    },
     /// Idle this round (still advances to the next round).
     Idle,
 }
@@ -38,22 +49,28 @@ fn log2_ceil(p: usize) -> u32 {
     p.next_power_of_two().trailing_zeros()
 }
 
-/// Pairwise-exchange barrier: round `k` swaps a token with rank `^ 2^k`
-/// (the recursive-doubling variant; equivalent round count to dissemination
-/// for the power-of-two worlds the paper uses).
+/// Barrier. Power-of-two worlds keep the pairwise-exchange schedule the
+/// paper's runs used (round `k` swaps a token with rank `^ 2^k`); any other
+/// world size uses the dissemination barrier (round `k` sends to
+/// `(rank + 2^k) mod P` while receiving from `(rank - 2^k) mod P`), the
+/// same `⌈log2 P⌉` round count.
 pub fn barrier_round(rank: usize, ranks: usize, round: u32) -> Option<RoundAction> {
-    assert!(
-        ranks.is_power_of_two(),
-        "barrier needs a power-of-two world"
-    );
     if ranks == 1 || round >= log2_ceil(ranks) {
         return None;
     }
-    let peer = rank ^ (1usize << round);
-    Some(RoundAction::Exchange {
-        peer,
-        send_bytes: 8,
-        recv_bytes: 8,
+    if ranks.is_power_of_two() {
+        let peer = rank ^ (1usize << round);
+        return Some(RoundAction::Exchange {
+            peer,
+            send_bytes: 8,
+            recv_bytes: 8,
+        });
+    }
+    let dist = 1usize << round;
+    Some(RoundAction::SendRecv {
+        to: (rank + dist) % ranks,
+        from: (rank + ranks - dist) % ranks,
+        bytes: 8,
     })
 }
 
@@ -123,83 +140,110 @@ pub fn reduce_round(
     }
 }
 
-/// Recursive-doubling allreduce (power-of-two rank counts).
+/// Allreduce. Power-of-two worlds keep recursive doubling (`⌈log2 P⌉`
+/// rounds, full payload each round); any other world size composes the
+/// binomial [`reduce_round`] to rank 0 with the binomial [`bcast_round`]
+/// from rank 0 (`2·⌈log2 P⌉` rounds), which handles every `P`.
 pub fn allreduce_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(
-        ranks.is_power_of_two(),
-        "allreduce needs a power-of-two world"
-    );
-    if round >= log2_ceil(ranks) {
-        return None;
+    if ranks.is_power_of_two() {
+        if round >= log2_ceil(ranks) {
+            return None;
+        }
+        let peer = rank ^ (1usize << round);
+        return Some(RoundAction::Exchange {
+            peer,
+            send_bytes: bytes,
+            recv_bytes: bytes,
+        });
     }
-    let peer = rank ^ (1usize << round);
-    Some(RoundAction::Exchange {
-        peer,
-        send_bytes: bytes,
-        recv_bytes: bytes,
-    })
+    let rounds = log2_ceil(ranks);
+    if round < rounds {
+        reduce_round(rank, ranks, 0, bytes, round)
+    } else if round < 2 * rounds {
+        bcast_round(rank, ranks, 0, bytes, round - rounds)
+    } else {
+        None
+    }
 }
 
-/// Recursive-doubling allgather: exchanged volume doubles each round.
+/// Allgather. Power-of-two worlds keep recursive doubling (exchanged
+/// volume doubles each round); any other world size uses the ring: `P - 1`
+/// rounds, each passing one `bytes`-sized block to `(rank + 1) mod P` while
+/// receiving the next block from `(rank - 1) mod P`.
 pub fn allgather_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(
-        ranks.is_power_of_two(),
-        "allgather needs a power-of-two world"
-    );
-    if round >= log2_ceil(ranks) {
+    if ranks.is_power_of_two() {
+        if round >= log2_ceil(ranks) {
+            return None;
+        }
+        let peer = rank ^ (1usize << round);
+        let vol = bytes.saturating_mul(1 << round);
+        return Some(RoundAction::Exchange {
+            peer,
+            send_bytes: vol,
+            recv_bytes: vol,
+        });
+    }
+    if round as usize >= ranks - 1 {
         return None;
     }
-    let peer = rank ^ (1usize << round);
-    let vol = bytes.saturating_mul(1 << round);
-    Some(RoundAction::Exchange {
-        peer,
-        send_bytes: vol,
-        recv_bytes: vol,
+    Some(RoundAction::SendRecv {
+        to: (rank + 1) % ranks,
+        from: (rank + ranks - 1) % ranks,
+        bytes,
     })
 }
 
-/// Pairwise-exchange alltoall: round `k ≥ 1` exchanges with `rank ^ k`.
+/// Alltoall: `P - 1` rounds, one distinct peer per round. Power-of-two
+/// worlds keep the XOR pairing (round `k ≥ 1` exchanges with `rank ^ k`);
+/// any other world size shifts modularly (round `k` sends to
+/// `(rank + k) mod P` while receiving from `(rank - k) mod P`).
 pub fn alltoall_round(rank: usize, ranks: usize, bytes: u32, round: u32) -> Option<RoundAction> {
-    assert!(
-        ranks.is_power_of_two(),
-        "alltoall needs a power-of-two world"
-    );
     let r = round as usize + 1;
     if r >= ranks {
         return None;
     }
-    let peer = rank ^ r;
-    Some(RoundAction::Exchange {
-        peer,
-        send_bytes: bytes,
-        recv_bytes: bytes,
+    if ranks.is_power_of_two() {
+        let peer = rank ^ r;
+        return Some(RoundAction::Exchange {
+            peer,
+            send_bytes: bytes,
+            recv_bytes: bytes,
+        });
+    }
+    Some(RoundAction::SendRecv {
+        to: (rank + r) % ranks,
+        from: (rank + ranks - r) % ranks,
+        bytes,
     })
 }
 
-/// Pairwise-exchange alltoallv with per-destination sizes.
+/// Alltoallv with per-destination sizes: the same peer schedule as
+/// [`alltoall_round`], sending `bytes[peer]` each round (the reverse size
+/// is the peer's own entry for us, looked up on its side).
 pub fn alltoallv_round(
     rank: usize,
     ranks: usize,
     bytes: &[u32],
     round: u32,
 ) -> Option<RoundAction> {
-    assert!(
-        ranks.is_power_of_two(),
-        "alltoallv needs a power-of-two world"
-    );
     assert_eq!(bytes.len(), ranks, "one size per destination");
     let r = round as usize + 1;
     if r >= ranks {
         return None;
     }
-    let peer = rank ^ r;
-    Some(RoundAction::Exchange {
-        peer,
-        send_bytes: bytes[peer],
-        // With symmetric pairwise exchange the reverse size is the peer's
-        // entry for us; the executor looks it up on its own side, so here we
-        // only need "expect something from peer".
-        recv_bytes: 0,
+    if ranks.is_power_of_two() {
+        let peer = rank ^ r;
+        return Some(RoundAction::Exchange {
+            peer,
+            send_bytes: bytes[peer],
+            recv_bytes: 0,
+        });
+    }
+    let to = (rank + r) % ranks;
+    Some(RoundAction::SendRecv {
+        to,
+        from: (rank + ranks - r) % ranks,
+        bytes: bytes[to],
     })
 }
 

@@ -57,6 +57,10 @@ pub struct RankActor {
     finished_at: Option<Time>,
     done_counter: Arc<AtomicUsize>,
     total_ranks: usize,
+    /// When false, the last rank to finish does NOT stop the simulation;
+    /// the run drains to `QueueEmpty` so quiescence invariants can be
+    /// asserted (see [`crate::MpiWorld::run_drained`]).
+    stop_when_done: bool,
     /// Wall time spent in compute phases (including stolen time).
     compute_wall_ns: u64,
     /// CPU time stolen by interrupts during compute phases.
@@ -88,9 +92,18 @@ impl RankActor {
             stolen_base: 0,
             finished_at: None,
             done_counter,
+            stop_when_done: true,
             compute_wall_ns: 0,
             stolen_ns: 0,
         }
+    }
+
+    /// Disable the stop-on-last-rank behaviour: the simulation keeps
+    /// running after every rank finished, draining acks and timers to
+    /// `QueueEmpty`.
+    pub fn draining(mut self) -> Self {
+        self.stop_when_done = false;
+        self
     }
 
     /// This rank's finish time, once the program completed.
@@ -235,6 +248,12 @@ impl RankActor {
                     self.post_exchange(ctx, peer, None, true, 0, m_in);
                     return true;
                 }
+                Some(RoundAction::SendRecv { to, from, bytes }) => {
+                    let m_out = coll_match(seq, round, self.rank);
+                    let m_in = coll_match(seq, round, from);
+                    self.post_exchange(ctx, to, Some(bytes), true, m_out, m_in);
+                    return true;
+                }
                 Some(RoundAction::Exchange {
                     peer, send_bytes, ..
                 }) => {
@@ -311,7 +330,7 @@ impl RankActor {
         }
         self.finished_at = Some(ctx.now());
         let done = self.done_counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if done == self.total_ranks {
+        if done == self.total_ranks && self.stop_when_done {
             ctx.stop();
         }
     }

@@ -16,7 +16,7 @@
 //!   time stolen by interrupt handlers on their core, which is exactly the
 //!   coupling the paper's Table IV measures.
 //!
-//! [`MpiWorld`](world::MpiWorld) wires programs into an
+//! [`world::MpiWorld`] wires programs into an
 //! [`omx_core::Cluster`] and reports completion times and metrics.
 
 #![warn(missing_docs)]

@@ -119,11 +119,38 @@ impl MpiWorld {
     /// Run an SPMD job: `program(rank)` builds each rank's op list.
     ///
     /// Returns the job report; panics if the job deadlocks (horizon is one
-    /// simulated hour).
-    pub fn run(mut self, program: impl Fn(usize) -> Vec<Op>) -> MpiRunReport {
+    /// simulated hour). The simulation stops the instant the last rank
+    /// finishes; use [`MpiWorld::run_drained`] to instead drain to
+    /// quiescence and assert the sim-sanitizer invariants.
+    pub fn run(self, program: impl Fn(usize) -> Vec<Op>) -> MpiRunReport {
+        self.launch(program, false).0
+    }
+
+    /// Like [`MpiWorld::run`], but the simulation drains to `QueueEmpty`
+    /// after the last rank finishes (trailing acks, coalescing timers) and
+    /// the sim-sanitizer invariants — exact byte conservation, duplicate
+    /// detection, no stranded protocol state — are asserted at quiescence.
+    ///
+    /// Returns the job report plus the sanitizer's quiescence report.
+    pub fn run_drained(
+        self,
+        program: impl Fn(usize) -> Vec<Op>,
+    ) -> (MpiRunReport, omx_core::sanitizer::SanitizerReport) {
+        let (report, sanitizer) = self.launch(program, true);
+        (report, sanitizer.expect("drained run sanitizes"))
+    }
+
+    fn launch(
+        mut self,
+        program: impl Fn(usize) -> Vec<Op>,
+        drain: bool,
+    ) -> (MpiRunReport, Option<omx_core::sanitizer::SanitizerReport>) {
         let done = Arc::new(AtomicUsize::new(0));
         for rank in 0..self.spec.ranks {
-            let actor = RankActor::new(rank, self.spec, program(rank), Arc::clone(&done));
+            let mut actor = RankActor::new(rank, self.spec, program(rank), Arc::clone(&done));
+            if drain {
+                actor = actor.draining();
+            }
             self.cluster.add_actor(
                 self.spec.node_of(rank),
                 self.spec.ep_of(rank),
@@ -131,13 +158,30 @@ impl MpiWorld {
             );
         }
         let stop = self.cluster.run(Time::from_secs(3_600));
+        let expected = if drain {
+            StopCondition::QueueEmpty
+        } else {
+            StopCondition::PredicateSatisfied
+        };
         assert_eq!(
             stop,
-            StopCondition::PredicateSatisfied,
+            expected,
             "MPI job did not complete: {stop:?} at {} ({} events)",
             self.cluster.now(),
             self.cluster.events_processed(),
         );
+        let sanitizer = if drain {
+            let report = self.cluster.sanitize();
+            let violations = report.all_violations();
+            assert!(
+                violations.is_empty(),
+                "MPI job violated sim-sanitizer invariants at quiescence:\n  {}",
+                violations.join("\n  ")
+            );
+            Some(report)
+        } else {
+            None
+        };
         let mut per_rank = Vec::with_capacity(self.spec.ranks);
         let mut compute_wall = 0;
         let mut stolen = 0;
@@ -150,13 +194,14 @@ impl MpiWorld {
             compute_wall += actor.compute_wall_ns();
             stolen += actor.stolen_ns();
         }
-        MpiRunReport {
+        let report = MpiRunReport {
             elapsed_ns: per_rank.iter().copied().max().unwrap_or(0),
             per_rank_finish_ns: per_rank,
             compute_wall_ns: compute_wall,
             stolen_ns: stolen,
             metrics: self.cluster.metrics(),
-        }
+        };
+        (report, sanitizer)
     }
 }
 

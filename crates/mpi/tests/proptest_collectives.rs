@@ -1,16 +1,23 @@
 //! Property tests for the collective round decompositions: conservation
-//! (every send has a matching receive in the same round) and termination.
+//! (every send has a matching receive in the same round), exactly-once
+//! delivery of every expected block, and termination — for EVERY world
+//! size 2–64, power-of-two or not.
 //!
 //! Randomised with the simulator's deterministic [`SimRng`] (fixed seeds, so
 //! failures reproduce exactly) instead of an external property-test harness.
 
+use omx_core::system::ClusterConfig;
 use omx_mpi::collectives::{
     allgather_round, allreduce_round, alltoall_round, alltoallv_round, barrier_round, bcast_round,
     reduce_round, RoundAction,
 };
+use omx_mpi::{MpiWorld, Op, WorldSpec};
 use omx_sim::rng::SimRng;
 
-const POW2_RANKS: [usize; 5] = [2, 4, 8, 16, 32];
+/// Every world size the scale experiments may legally request.
+fn world_sizes() -> impl Iterator<Item = usize> {
+    2..=64
+}
 
 /// Check that, in every round, send/recv/exchange actions pair up exactly.
 /// Returns false once the collective has finished for everyone.
@@ -46,81 +53,139 @@ fn assert_round_consistent(
                 Some(RoundAction::Send { peer: to, .. }) => assert_eq!(to, r),
                 ref other => panic!("recv source of {r} has {other:?}"),
             },
+            Some(RoundAction::SendRecv { to, from, .. }) => {
+                assert_ne!(*to, r, "self-send in round {round}");
+                assert_ne!(*from, r, "self-recv in round {round}");
+                match actions[*to] {
+                    Some(RoundAction::SendRecv { from: back, .. }) => assert_eq!(
+                        back, r,
+                        "round {round}: {to} does not expect a block from {r}"
+                    ),
+                    ref other => panic!("send target of {r} has {other:?}"),
+                }
+                match actions[*from] {
+                    Some(RoundAction::SendRecv { to: fwd, .. }) => assert_eq!(
+                        fwd, r,
+                        "round {round}: {from} does not send the block {r} expects"
+                    ),
+                    ref other => panic!("recv source of {r} has {other:?}"),
+                }
+            }
         }
     }
     true
 }
 
-#[test]
-fn barrier_rounds_pair_up() {
-    for ranks in POW2_RANKS {
-        let mut terminated = false;
-        for round in 0..16 {
-            if !assert_round_consistent(ranks, round, |r| barrier_round(r, ranks, round)) {
-                terminated = true;
-                break;
+/// Drive `action_of(rank, round)` to termination, asserting per-round
+/// pairing, and return for each rank the list of (source, round) blocks it
+/// received. Panics if the collective has not finished within `max_rounds`.
+fn collect_deliveries(
+    ranks: usize,
+    max_rounds: u32,
+    action_of: impl Fn(usize, u32) -> Option<RoundAction>,
+) -> Vec<Vec<(usize, u32)>> {
+    let mut received: Vec<Vec<(usize, u32)>> = vec![Vec::new(); ranks];
+    for round in 0..=max_rounds {
+        if !assert_round_consistent(ranks, round, |r| action_of(r, round)) {
+            return received;
+        }
+        assert!(
+            round < max_rounds,
+            "collective never terminated ({ranks} ranks)"
+        );
+        for (r, inbox) in received.iter_mut().enumerate() {
+            match action_of(r, round) {
+                Some(RoundAction::Exchange { peer, .. }) => inbox.push((peer, round)),
+                Some(RoundAction::Recv { peer }) => inbox.push((peer, round)),
+                Some(RoundAction::SendRecv { from, .. }) => inbox.push((from, round)),
+                _ => {}
             }
         }
-        assert!(terminated, "barrier never terminated for {ranks} ranks");
+    }
+    unreachable!()
+}
+
+#[test]
+fn barrier_rounds_pair_up_and_deliver_exactly_once() {
+    for ranks in world_sizes() {
+        let received = collect_deliveries(ranks, 16, |r, round| barrier_round(r, ranks, round));
+        let rounds = (ranks as u64).next_power_of_two().trailing_zeros();
+        for (r, blocks) in received.iter().enumerate() {
+            assert_eq!(
+                blocks.len(),
+                rounds as usize,
+                "rank {r}/{ranks}: one token per round"
+            );
+            // Exactly one token per round — no duplicates.
+            let mut per_round: Vec<u32> = blocks.iter().map(|&(_, round)| round).collect();
+            per_round.dedup();
+            assert_eq!(
+                per_round.len(),
+                rounds as usize,
+                "rank {r}: duplicate round"
+            );
+        }
     }
 }
 
 #[test]
-fn bcast_rounds_pair_up() {
+fn bcast_reaches_every_rank_exactly_once() {
     let mut rng = SimRng::new(0x5EED_4001);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let root = rng.range_u64(0, 32) as usize % ranks;
-            let mut terminated = false;
-            for round in 0..16 {
-                if !assert_round_consistent(ranks, round, |r| {
-                    bcast_round(r, ranks, root, 64, round)
-                }) {
-                    terminated = true;
-                    break;
-                }
-            }
-            assert!(terminated, "bcast never terminated for {ranks} ranks");
+    for ranks in world_sizes() {
+        let root = rng.range_u64(0, 64) as usize % ranks;
+        let received =
+            collect_deliveries(ranks, 16, |r, round| bcast_round(r, ranks, root, 64, round));
+        for (r, blocks) in received.iter().enumerate() {
+            let expect = usize::from(r != root);
+            assert_eq!(
+                blocks.len(),
+                expect,
+                "rank {r}/{ranks} (root {root}): bcast must deliver exactly once"
+            );
         }
     }
 }
 
 #[test]
-fn reduce_rounds_pair_up() {
+fn reduce_collects_every_contribution_exactly_once() {
     let mut rng = SimRng::new(0x5EED_4002);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let root = rng.range_u64(0, 32) as usize % ranks;
-            let mut terminated = false;
-            for round in 0..16 {
-                if !assert_round_consistent(ranks, round, |r| {
-                    reduce_round(r, ranks, root, 64, round)
-                }) {
-                    terminated = true;
-                    break;
-                }
-            }
-            assert!(terminated, "reduce never terminated for {ranks} ranks");
+    for ranks in world_sizes() {
+        let root = rng.range_u64(0, 64) as usize % ranks;
+        let received = collect_deliveries(ranks, 16, |r, round| {
+            reduce_round(r, ranks, root, 64, round)
+        });
+        // Binomial reduce: every rank's partial flows up once, so the total
+        // number of deliveries is exactly ranks - 1 and nobody receives a
+        // block twice in the same round from the same source.
+        let total: usize = received.iter().map(Vec::len).sum();
+        assert_eq!(total, ranks - 1, "{ranks} ranks (root {root})");
+        for (r, blocks) in received.iter().enumerate() {
+            let mut seen = blocks.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), blocks.len(), "rank {r}: duplicate block");
         }
     }
 }
 
 #[test]
-fn allreduce_and_allgather_pair_up() {
+fn allreduce_pairs_up_and_terminates_for_any_world() {
     let mut rng = SimRng::new(0x5EED_4003);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let bytes = rng.range_u64(1, 1_000_000) as u32;
-            let mut terminated = false;
-            for round in 0..16 {
-                if !assert_round_consistent(ranks, round, |r| {
-                    allreduce_round(r, ranks, bytes, round)
-                }) {
-                    terminated = true;
-                    break;
-                }
+    for ranks in world_sizes() {
+        let bytes = rng.range_u64(1, 1_000_000) as u32;
+        let received = collect_deliveries(ranks, 32, |r, round| {
+            allreduce_round(r, ranks, bytes, round)
+        });
+        if ranks.is_power_of_two() {
+            // Recursive doubling: log2(P) exchanges per rank.
+            let rounds = ranks.trailing_zeros() as usize;
+            for blocks in &received {
+                assert_eq!(blocks.len(), rounds);
             }
-            assert!(terminated, "allreduce never terminated for {ranks} ranks");
+        } else {
+            // Reduce + bcast composition: ranks-1 deliveries each way.
+            let total: usize = received.iter().map(Vec::len).sum();
+            assert_eq!(total, 2 * (ranks - 1), "{ranks} ranks");
         }
     }
 }
@@ -128,44 +193,52 @@ fn allreduce_and_allgather_pair_up() {
 #[test]
 fn allgather_total_volume_is_full_vector() {
     let mut rng = SimRng::new(0x5EED_4004);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let bytes = rng.range_u64(1, 10_000) as u32;
-            // After all rounds, each rank has sent bytes * (ranks - 1) in
-            // total (its contribution forwarded along the doubling tree).
-            let mut sent = 0u64;
-            for round in 0..16 {
-                match allgather_round(0, ranks, bytes, round) {
-                    Some(RoundAction::Exchange { send_bytes, .. }) => sent += u64::from(send_bytes),
-                    None => break,
-                    other => panic!("unexpected {other:?}"),
-                }
+    for ranks in world_sizes() {
+        let bytes = rng.range_u64(1, 10_000) as u32;
+        // After all rounds, each rank has sent bytes * (ranks - 1) in total
+        // (doubling tree for powers of two, the ring otherwise).
+        let mut sent = 0u64;
+        for round in 0..128 {
+            match allgather_round(0, ranks, bytes, round) {
+                Some(RoundAction::Exchange { send_bytes, .. }) => sent += u64::from(send_bytes),
+                Some(RoundAction::SendRecv { bytes: b, .. }) => sent += u64::from(b),
+                None => break,
+                other => panic!("unexpected {other:?}"),
             }
-            assert_eq!(sent, u64::from(bytes) * (ranks as u64 - 1));
+        }
+        assert_eq!(sent, u64::from(bytes) * (ranks as u64 - 1), "{ranks} ranks");
+        // And the schedule itself pairs up.
+        let received = collect_deliveries(ranks, 128, |r, round| {
+            allgather_round(r, ranks, bytes, round)
+        });
+        if !ranks.is_power_of_two() {
+            // Ring: every rank receives exactly ranks - 1 blocks, one per
+            // round, always from its left neighbour.
+            for (r, blocks) in received.iter().enumerate() {
+                assert_eq!(blocks.len(), ranks - 1, "rank {r}/{ranks}");
+                let left = (r + ranks - 1) % ranks;
+                assert!(blocks.iter().all(|&(from, _)| from == left));
+            }
         }
     }
 }
 
 #[test]
-fn alltoall_is_a_permutation_every_round() {
+fn alltoall_visits_every_peer_exactly_once() {
     let mut rng = SimRng::new(0x5EED_4005);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let bytes = rng.range_u64(1, 100_000) as u32;
-            for round in 0..(ranks as u32 - 1) {
-                let mut seen = vec![false; ranks];
-                for r in 0..ranks {
-                    let Some(RoundAction::Exchange { peer, .. }) =
-                        alltoall_round(r, ranks, bytes, round)
-                    else {
-                        panic!("round {round} missing for rank {r}");
-                    };
-                    assert!(!seen[peer], "peer {peer} used twice in round {round}");
-                    seen[peer] = true;
-                }
-                assert!(seen.iter().all(|&s| s), "round {round} not a permutation");
-            }
-            assert!(alltoall_round(0, ranks, bytes, ranks as u32 - 1).is_none());
+    for ranks in world_sizes() {
+        let bytes = rng.range_u64(1, 100_000) as u32;
+        let received = collect_deliveries(ranks, 128, |r, round| {
+            alltoall_round(r, ranks, bytes, round)
+        });
+        for (r, blocks) in received.iter().enumerate() {
+            // Every rank hears from every other rank exactly once: this is
+            // precisely the sanitizer's duplicate-delivery invariant at the
+            // schedule level.
+            let mut sources: Vec<usize> = blocks.iter().map(|&(from, _)| from).collect();
+            sources.sort_unstable();
+            let expect: Vec<usize> = (0..ranks).filter(|&p| p != r).collect();
+            assert_eq!(sources, expect, "rank {r}/{ranks}");
         }
     }
 }
@@ -173,33 +246,69 @@ fn alltoall_is_a_permutation_every_round() {
 #[test]
 fn alltoallv_sends_each_destination_its_size() {
     let mut rng = SimRng::new(0x5EED_4006);
-    for ranks in POW2_RANKS {
-        for _case in 0..8 {
-            let seed = rng.next_u64();
-            // Deterministic pseudo-random per-destination sizes.
-            let sizes: Vec<u32> = (0..ranks)
-                .map(|i| ((seed >> (i % 48)) & 0xFFFF) as u32)
-                .collect();
-            let mut sent_to = vec![None::<u32>; ranks];
-            for round in 0..64 {
-                match alltoallv_round(0, ranks, &sizes, round) {
-                    Some(RoundAction::Exchange {
-                        peer, send_bytes, ..
-                    }) => {
-                        assert!(sent_to[peer].is_none(), "peer {peer} visited twice");
-                        sent_to[peer] = Some(send_bytes);
-                    }
-                    None => break,
-                    other => panic!("unexpected {other:?}"),
-                }
-            }
-            for (peer, sent) in sent_to.iter().enumerate() {
-                if peer == 0 {
-                    assert!(sent.is_none(), "no self-send");
-                } else {
-                    assert_eq!(sent.expect("every peer visited"), sizes[peer]);
-                }
+    for ranks in world_sizes() {
+        let seed = rng.next_u64();
+        // Deterministic pseudo-random per-destination sizes.
+        let sizes: Vec<u32> = (0..ranks)
+            .map(|i| ((seed >> (i % 48)) & 0xFFFF) as u32)
+            .collect();
+        let mut sent_to = vec![None::<u32>; ranks];
+        for round in 0..128 {
+            let (peer, send_bytes) = match alltoallv_round(0, ranks, &sizes, round) {
+                Some(RoundAction::Exchange {
+                    peer, send_bytes, ..
+                }) => (peer, send_bytes),
+                Some(RoundAction::SendRecv { to, bytes, .. }) => (to, bytes),
+                None => break,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(sent_to[peer].is_none(), "peer {peer} visited twice");
+            sent_to[peer] = Some(send_bytes);
+        }
+        for (peer, sent) in sent_to.iter().enumerate() {
+            if peer == 0 {
+                assert!(sent.is_none(), "no self-send");
+            } else {
+                assert_eq!(
+                    sent.expect("every peer visited"),
+                    sizes[peer],
+                    "{ranks} ranks"
+                );
             }
         }
+    }
+}
+
+/// End-to-end: a sample of non-power-of-two (and one power-of-two) worlds
+/// runs every collective through the full simulator, drains to quiescence,
+/// and the sim-sanitizer asserts exact byte conservation — every expected
+/// byte delivered exactly once, no duplicates, nothing stranded.
+#[test]
+fn collectives_drain_clean_on_odd_world_sizes() {
+    for &(ranks, rpn) in &[(3usize, 1usize), (5, 1), (6, 2), (8, 2), (12, 4)] {
+        let spec = WorldSpec {
+            ranks,
+            ranks_per_node: rpn,
+        };
+        let world = MpiWorld::new(spec, ClusterConfig::default());
+        let (report, sanitizer) = world.run_drained(|_| {
+            vec![
+                Op::Barrier,
+                Op::Allreduce { bytes: 64 },
+                Op::Allgather { bytes: 256 },
+                Op::Alltoall { bytes: 128 },
+                Op::Bcast {
+                    root: 1,
+                    bytes: 512,
+                },
+                Op::Reduce {
+                    root: 0,
+                    bytes: 512,
+                },
+            ]
+        });
+        assert_eq!(report.per_rank_finish_ns.len(), ranks);
+        assert!(report.elapsed_ns > 0, "{ranks} ranks");
+        assert!(sanitizer.all_violations().is_empty(), "{ranks} ranks");
     }
 }
