@@ -360,6 +360,19 @@ fn run_perf(smoke: bool) {
         Ok(()) => println!("wrote BENCH_sim.json"),
         Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
     }
+    // Smoke mode doubles as CI's perf regression gate: any bench with a
+    // recorded baseline that regressed past 2× fails the run.
+    if smoke {
+        let regressed = omx_bench::perf::regressions(&report, 2.0);
+        if !regressed.is_empty() {
+            for (id, mean, baseline) in &regressed {
+                eprintln!(
+                    "perf regression: {id} mean {mean} ns > 2x baseline {baseline} ns"
+                );
+            }
+            std::process::exit(3);
+        }
+    }
 }
 
 fn run_scale(quick: bool) {

@@ -1,15 +1,21 @@
 //! Tracked performance baseline of the simulation substrate.
 //!
 //! `omx-bench perf` runs the substrate micro-benchmarks (the same workloads
-//! as `cargo bench --bench engine`, plus a timer re-arm stress) and writes a
-//! machine-readable report to `BENCH_sim.json` in the working directory.
-//! Each entry carries the tracked pre-optimisation baseline captured before
-//! the indexed-heap/timer-wheel queue landed, so a regression shows up as a
+//! as `cargo bench --bench engine`, plus a timer re-arm stress) **and the
+//! `e2e/*` whole-simulation benches** (full clusters driven to completion,
+//! reported in frames/sec) and writes a machine-readable report to
+//! `BENCH_sim.json` in the working directory. Each entry carries the tracked
+//! pre-optimisation baseline captured before the corresponding hot-path
+//! overhaul landed (the indexed-heap/timer-wheel queue for `event_queue/*`
+//! and `engine/*`; the slab-indexed protocol state + enum-dispatch
+//! coalescers for `e2e/*`), so a regression shows up as a
 //! `speedup_vs_baseline` below 1.0 without digging through CI logs.
 //!
 //! `--smoke` runs one warmup and one timed iteration per workload — enough
 //! for CI to prove the binary works and to publish a report artifact without
-//! burning minutes on statistics.
+//! burning minutes on statistics. In smoke mode the run doubles as a
+//! regression gate: any bench with a recorded baseline whose mean regresses
+//! more than 2× past it fails the run (see [`regressions`]).
 //!
 //! Report schema (`omx-bench-perf/1`):
 //!
@@ -23,22 +29,41 @@
 //!       "mean_ns": 410000, "min_ns": 395000, "iters": 20,
 //!       "baseline_mean_ns": 1988000,    // null for new benches
 //!       "speedup_vs_baseline": 4.85     // baseline_mean / mean; null if no baseline
+//!     },
+//!     {
+//!       "id": "e2e/pingpong_small_50k",
+//!       "mean_ns": 1, "min_ns": 1, "iters": 5,
+//!       "baseline_mean_ns": 1, "speedup_vs_baseline": 1.0,
+//!       "frames": 120000,               // e2e/* only: frames the cluster carried
+//!       "frames_per_sec": 1.0e8         // e2e/* only: frames / mean wall time
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! `frames` counts simulated Ethernet frames carried by the fabric in one
+//! bench iteration (deterministic — fixed seeds), so `frames_per_sec` is the
+//! end-to-end simulator throughput the ROADMAP tracks.
 
 use crate::timing::{measure, BenchStats};
+use omx_core::prelude::*;
+use omx_mpi::{MpiWorld, Op, WorldSpec};
 use omx_sim::json::Json;
 use omx_sim::{Engine, EventQueue, Model, Scheduler, Time};
 
 /// Mean per-iteration wall time (ns) of each workload on the tracked
-/// reference machine, captured with the pre-PR `BinaryHeap` + tombstone-set
-/// queue. New workloads without a pre-PR equivalent carry no baseline.
+/// reference machine, captured with the pre-optimisation implementation
+/// (`event_queue/*`, `engine/*`: the pre-PR-2 `BinaryHeap` + tombstone-set
+/// queue; `e2e/*`: the pre-PR-5 map-based protocol state and `Box<dyn
+/// Coalescer>` NIC dispatch). New workloads without a pre-optimisation
+/// equivalent carry no baseline.
 const BASELINE_MEAN_NS: &[(&str, u64)] = &[
     ("event_queue/push_pop_10k_fifo", 1_654_000),
     ("event_queue/push_cancel_pop_10k", 1_988_000),
     ("engine/dispatch_100k_chained_events", 5_816_000),
+    ("e2e/pingpong_small_50k", 884_195_000),
+    ("e2e/table1_medium_cell", 10_859_000),
+    ("e2e/scale_alltoall_16n", 16_967_000),
 ];
 
 struct Chain {
@@ -97,12 +122,61 @@ fn dispatch_100k_chained_events() -> u64 {
     eng.events_processed()
 }
 
-fn entry(id: &str, stats: BenchStats) -> Json {
+/// 50 000 128-byte ping-pongs on a two-node cluster under the paper's
+/// open-mx strategy. Every frame takes the small-message eager path, so
+/// this is the per-packet protocol + NIC dispatch cost laid bare.
+fn e2e_pingpong_small_50k() -> u64 {
+    let mut cluster = ClusterBuilder::new()
+        .nodes(2)
+        .strategy(CoalescingStrategy::OpenMx { delay_us: 75 })
+        .build();
+    cluster.run_pingpong(PingPongSpec {
+        msg_len: 128,
+        iterations: 50_000,
+        warmup: 0,
+    });
+    cluster.metrics().frames_carried
+}
+
+/// The Table I medium-message cell (32 KiB × 400, window 32, default
+/// strategy): fragment reassembly and the retransmit-timer path under a
+/// windowed stream.
+fn e2e_table1_medium_cell() -> u64 {
+    let mut cluster = ClusterBuilder::new()
+        .nodes(2)
+        .strategy(CoalescingStrategy::Timeout { delay_us: 75 })
+        .build();
+    cluster.run_stream(StreamSpec {
+        msg_len: 32 << 10,
+        messages: 400,
+        window: 32,
+    });
+    cluster.metrics().frames_carried
+}
+
+/// A 16-node (32-rank) 16 KiB alltoall through the bounded-buffer switch —
+/// the scale campaign's heaviest shape: rendezvous pulls, convergent
+/// traffic, and the full MPI stack above the protocol layer.
+fn e2e_scale_alltoall_16n() -> u64 {
+    let mut cfg = ClusterConfig::default();
+    cfg.nic.strategy = CoalescingStrategy::Timeout { delay_us: 75 };
+    cfg.fabric.switch_buffer_frames = 32;
+    cfg.seed = 0xE2E;
+    let spec = WorldSpec {
+        ranks: 32,
+        ranks_per_node: 2,
+    };
+    let (report, _sanitizer) =
+        MpiWorld::new(spec, cfg).run_drained(|_| vec![Op::Alltoall { bytes: 16 << 10 }]);
+    report.metrics.frames_carried
+}
+
+fn entry_with_frames(id: &str, stats: BenchStats, frames: Option<u64>) -> Json {
     let baseline = BASELINE_MEAN_NS
         .iter()
         .find(|(k, _)| *k == id)
         .map(|(_, ns)| *ns);
-    Json::obj(vec![
+    let mut fields = vec![
         ("id", Json::Str(id.to_string())),
         ("mean_ns", Json::U64(stats.mean_ns)),
         ("min_ns", Json::U64(stats.min_ns)),
@@ -114,12 +188,37 @@ fn entry(id: &str, stats: BenchStats) -> Json {
                 Json::F64(b as f64 / stats.mean_ns.max(1) as f64)
             }),
         ),
-    ])
+    ];
+    if let Some(frames) = frames {
+        fields.push(("frames", Json::U64(frames)));
+        fields.push((
+            "frames_per_sec",
+            Json::F64(frames as f64 * 1e9 / stats.mean_ns.max(1) as f64),
+        ));
+    }
+    Json::obj(fields)
+}
+
+fn entry(id: &str, stats: BenchStats) -> Json {
+    entry_with_frames(id, stats, None)
+}
+
+/// An `e2e/*` entry: `f` runs one whole simulation and returns the frames
+/// the fabric carried (deterministic — fixed seeds), reported alongside the
+/// wall-time stats as `frames_per_sec`.
+fn entry_e2e(id: &str, warmup: u32, iters: u32, f: impl FnMut() -> u64) -> Json {
+    let mut f = f;
+    let mut frames = 0;
+    let stats = measure(warmup, iters, || frames = f());
+    entry_with_frames(id, stats, Some(frames))
 }
 
 /// Run the perf suite and return the report. `smoke` = 1 warmup / 1 iter.
 pub fn run(smoke: bool) -> Json {
     let (w, n, we, ne) = if smoke { (1, 1, 1, 1) } else { (3, 20, 1, 10) };
+    // Whole-simulation runs are orders of magnitude longer than the
+    // microbenches; a handful of iterations already gives stable means.
+    let (wf, nf) = if smoke { (1, 1) } else { (1, 5) };
     let benches = vec![
         entry(
             "event_queue/push_pop_10k_fifo",
@@ -137,6 +236,9 @@ pub fn run(smoke: bool) -> Json {
             "engine/dispatch_100k_chained_events",
             measure(we, ne, dispatch_100k_chained_events),
         ),
+        entry_e2e("e2e/pingpong_small_50k", wf, nf, e2e_pingpong_small_50k),
+        entry_e2e("e2e/table1_medium_cell", wf, nf, e2e_table1_medium_cell),
+        entry_e2e("e2e/scale_alltoall_16n", wf, nf, e2e_scale_alltoall_16n),
     ];
     Json::obj(vec![
         ("schema", Json::Str("omx-bench-perf/1".into())),
@@ -146,6 +248,27 @@ pub fn run(smoke: bool) -> Json {
         ),
         ("benches", Json::Arr(benches)),
     ])
+}
+
+/// Benches whose mean regressed more than `factor`× past their recorded
+/// baseline, as `(id, mean_ns, baseline_mean_ns)`. The CI smoke step fails
+/// the job on a non-empty result with `factor = 2.0` — loose enough for
+/// shared-runner noise on one-iteration timings, tight enough to catch an
+/// accidental O(n) slip on the hot path.
+pub fn regressions(report: &Json, factor: f64) -> Vec<(String, u64, u64)> {
+    let Some(benches) = report.get("benches").and_then(|b| b.as_arr()) else {
+        return Vec::new();
+    };
+    benches
+        .iter()
+        .filter_map(|b| {
+            let id = b.get("id")?.as_str()?;
+            let mean = b.get("mean_ns")?.as_u64()?;
+            let baseline = b.get("baseline_mean_ns")?.as_u64()?;
+            (mean as f64 > baseline as f64 * factor)
+                .then(|| (id.to_string(), mean, baseline))
+        })
+        .collect()
 }
 
 /// Render `report` to `BENCH_sim.json` in the working directory.
@@ -187,7 +310,7 @@ mod tests {
             Some("omx-bench-perf/1")
         );
         let benches = report.get("benches").and_then(|b| b.as_arr()).unwrap();
-        assert_eq!(benches.len(), 4);
+        assert_eq!(benches.len(), 7);
         let with_baseline = benches
             .iter()
             .filter(|b| b.get("baseline_mean_ns").and_then(|v| v.as_u64()).is_some())
@@ -195,6 +318,43 @@ mod tests {
         assert_eq!(with_baseline, BASELINE_MEAN_NS.len());
         for b in benches {
             assert!(b.get("mean_ns").and_then(|v| v.as_u64()).unwrap() > 0);
+            let id = b.get("id").and_then(|v| v.as_str()).unwrap();
+            if id.starts_with("e2e/") {
+                // Deterministic sims carry a nonzero, reproducible frame
+                // count; frames_per_sec is derived from it.
+                assert!(b.get("frames").and_then(|v| v.as_u64()).unwrap() > 0);
+                assert!(b.get("frames_per_sec").and_then(|v| v.as_f64()).unwrap() > 0.0);
+            } else {
+                assert!(b.get("frames").is_none());
+            }
         }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_means_past_the_factor() {
+        let report = Json::obj(vec![(
+            "benches",
+            Json::Arr(vec![
+                // 2× exactly is not a regression; past 2× is.
+                Json::obj(vec![
+                    ("id", Json::Str("a".into())),
+                    ("mean_ns", Json::U64(200)),
+                    ("baseline_mean_ns", Json::U64(100)),
+                ]),
+                Json::obj(vec![
+                    ("id", Json::Str("b".into())),
+                    ("mean_ns", Json::U64(201)),
+                    ("baseline_mean_ns", Json::U64(100)),
+                ]),
+                // No baseline: never gated.
+                Json::obj(vec![
+                    ("id", Json::Str("c".into())),
+                    ("mean_ns", Json::U64(1_000_000)),
+                    ("baseline_mean_ns", Json::Null),
+                ]),
+            ]),
+        )]);
+        let r = regressions(&report, 2.0);
+        assert_eq!(r, vec![("b".to_string(), 201, 100)]);
     }
 }

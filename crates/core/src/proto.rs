@@ -28,7 +28,7 @@ use crate::wire::{
     OmxHeader, Packet, PacketKind, MEDIUM_MAX, PULL_BLOCK_FRAMES, PULL_PIPELINE, SMALL_MAX,
 };
 use omx_sim::stats::Counter;
-use omx_sim::{Time, TimeDelta};
+use omx_sim::{Slab, SlabToken, Time, TimeDelta};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Protocol tunables.
@@ -276,24 +276,60 @@ impl PullRx {
     }
 }
 
+/// Reusable per-call buffers for the timer and ack paths. Hoisting them
+/// out of `on_timer_into` / `process_ack` / the pull request builders keeps
+/// steady-state protocol dispatch allocation-free: each buffer is taken
+/// (`mem::take`), filled, drained, and put back, so the capacity survives
+/// across calls. None of the paths that fill a buffer re-enter another
+/// user of the *same* buffer (asserted by the take/restore discipline —
+/// a reentrant take would see an empty, capacity-less Vec, never aliasing).
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Conns with an expired delayed-ack deadline.
+    due: Vec<(u8, EndpointAddr, SlabToken)>,
+    /// Head-burst retransmissions collected from all conns.
+    resends: Vec<Packet>,
+    /// Pulls whose replies stalled past the RTO.
+    stalled: Vec<(MsgKey, SlabToken)>,
+    /// Packet build buffer (pull requests / replies / re-requests).
+    pkts: Vec<Packet>,
+    /// Window-released queued sends inside `process_ack`.
+    released: Vec<QueuedSend>,
+}
+
 /// The per-node driver.
+///
+/// # Protocol state layout
+///
+/// All four state families (`conns`, `sends`, `mediums`, `pulls`) live in
+/// generation-stamped [`Slab`]s; the maps hold only key→[`SlabToken`]
+/// indexes and are touched once per message birth/death (or once per
+/// packet to resolve the index), never repeatedly inside a packet's
+/// handling. Ordered (`BTreeMap`) indexes are kept wherever the driver
+/// *iterates* (timer scans over conns and pulls, the pending report):
+/// iteration order feeds the emitted action order, and a randomized-seed
+/// `HashMap` would make runs differ across processes. A stale token —
+/// state removed while a handle is still live — panics in the slab rather
+/// than silently reading a reused slot.
 pub struct NodeDriver {
     local: u16,
     cfg: ProtoConfig,
     endpoints: Vec<Endpoint>,
-    /// Ordered maps wherever the driver *iterates* (timer scans over conns
-    /// and pulls): iteration order feeds the emitted action order, and a
-    /// randomized-seed `HashMap` would make runs differ across processes.
-    conns: BTreeMap<(u8, EndpointAddr), Conn>,
-    sends: HashMap<MsgId, SendState>,
-    mediums: HashMap<MsgKey, MediumRx>,
-    pulls: BTreeMap<MsgKey, PullRx>,
+    conns: Slab<Conn>,
+    conn_index: BTreeMap<(u8, EndpointAddr), SlabToken>,
+    sends: Slab<SendState>,
+    send_index: HashMap<MsgId, SlabToken>,
+    mediums: Slab<MediumRx>,
+    medium_index: HashMap<MsgKey, SlabToken>,
+    pulls: Slab<PullRx>,
+    pull_index: BTreeMap<MsgKey, SlabToken>,
     /// Small messages that arrived before their receive was posted are fully
     /// described by the unexpected-match entry; mediums/larges need the maps
     /// above. Completed message keys (dup suppression after completion).
     finished: std::collections::HashSet<MsgKey>,
     next_msg: u64,
     counters: DriverCounters,
+    scratch: Scratch,
 }
 
 impl NodeDriver {
@@ -307,13 +343,18 @@ impl NodeDriver {
                     matcher: MatchEngine::new(),
                 })
                 .collect(),
-            conns: BTreeMap::new(),
-            sends: HashMap::new(),
-            mediums: HashMap::new(),
-            pulls: BTreeMap::new(),
+            conns: Slab::new(),
+            conn_index: BTreeMap::new(),
+            sends: Slab::new(),
+            send_index: HashMap::new(),
+            mediums: Slab::new(),
+            medium_index: HashMap::new(),
+            pulls: Slab::new(),
+            pull_index: BTreeMap::new(),
             finished: std::collections::HashSet::new(),
             next_msg: 0,
             counters: DriverCounters::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -336,8 +377,16 @@ impl NodeDriver {
         EndpointAddr::new(self.local, ep)
     }
 
-    fn conn(&mut self, ep: u8, remote: EndpointAddr) -> &mut Conn {
-        self.conns.entry((ep, remote)).or_default()
+    /// Resolve (creating on first contact) the connection's slab handle.
+    /// This is the *only* per-packet index lookup on the receive path;
+    /// every subsequent access inside the packet's handling is an O(1)
+    /// generation-checked slab dereference.
+    fn conn_token(&mut self, ep: u8, remote: EndpointAddr) -> SlabToken {
+        let conns = &mut self.conns;
+        *self
+            .conn_index
+            .entry((ep, remote))
+            .or_insert_with(|| conns.insert(Conn::default()))
     }
 
     // -- application entry points ---------------------------------------------
@@ -440,15 +489,18 @@ impl NodeDriver {
         debug_assert_eq!(pkt.hdr.dst.node.0, self.local, "misrouted packet");
         let local_ep = pkt.hdr.dst.endpoint;
         let remote = pkt.hdr.src;
+        // One index lookup per packet; every helper below dereferences the
+        // connection through this O(1) handle.
+        let ct = self.conn_token(local_ep, remote);
 
         // Piggybacked ack always processes.
-        self.process_ack(now, local_ep, remote, pkt.hdr.ack, actions);
+        self.process_ack(now, ct, pkt.hdr.ack, actions);
 
         // Eager sequencing and duplicate suppression.
-        if pkt.hdr.seq != 0 && !self.accept_eager_seq(now, local_ep, remote, pkt.hdr.seq) {
+        if pkt.hdr.seq != 0 && !self.accept_eager_seq(ct, pkt.hdr.seq) {
             self.counters.duplicates.incr();
             // Duplicates still refresh ack state so the peer stops resending.
-            self.bump_rx_ack(now, local_ep, remote, actions);
+            self.bump_rx_ack(now, local_ep, remote, ct, actions);
             return;
         }
 
@@ -459,7 +511,7 @@ impl NodeDriver {
                 len,
             } => {
                 self.rx_small(now, local_ep, remote, msg, match_info, len, actions);
-                self.bump_rx_ack(now, local_ep, remote, actions);
+                self.bump_rx_ack(now, local_ep, remote, ct, actions);
             }
             PacketKind::MediumFrag {
                 msg,
@@ -472,7 +524,7 @@ impl NodeDriver {
                 self.rx_medium(
                     now, local_ep, remote, msg, match_info, frag, frag_count, total_len, actions,
                 );
-                self.bump_rx_ack(now, local_ep, remote, actions);
+                self.bump_rx_ack(now, local_ep, remote, ct, actions);
             }
             PacketKind::Rendezvous {
                 msg,
@@ -480,14 +532,14 @@ impl NodeDriver {
                 total_len,
             } => {
                 self.rx_rendezvous(now, local_ep, remote, msg, match_info, total_len, actions);
-                self.bump_rx_ack(now, local_ep, remote, actions);
+                self.bump_rx_ack(now, local_ep, remote, ct, actions);
             }
             PacketKind::PullRequest {
                 msg,
                 block,
                 frame_count,
             } => {
-                self.rx_pull_request(now, local_ep, remote, msg, block, frame_count, actions);
+                self.rx_pull_request(now, local_ep, remote, ct, msg, block, frame_count, actions);
             }
             PacketKind::PullReply {
                 msg,
@@ -500,6 +552,7 @@ impl NodeDriver {
                     now,
                     local_ep,
                     remote,
+                    ct,
                     msg,
                     block,
                     frame,
@@ -509,10 +562,10 @@ impl NodeDriver {
             }
             PacketKind::Notify { msg } => {
                 self.rx_notify(now, local_ep, remote, msg, actions);
-                self.bump_rx_ack(now, local_ep, remote, actions);
+                self.bump_rx_ack(now, local_ep, remote, ct, actions);
             }
             PacketKind::Ack { cumulative_seq } => {
-                self.process_ack(now, local_ep, remote, cumulative_seq, actions);
+                self.process_ack(now, ct, cumulative_seq, actions);
             }
             PacketKind::TcpSegment { .. } => {
                 // Not Open-MX; nothing to do at this layer.
@@ -531,16 +584,22 @@ impl NodeDriver {
     /// [`NodeDriver::on_timer`], appending actions to a caller-owned buffer
     /// instead of allocating a fresh `Vec` per call.
     pub fn on_timer_into(&mut self, now: Time, actions: &mut Vec<DriverAction>) {
-        // Delayed acks.
-        let due: Vec<(u8, EndpointAddr)> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.ack_deadline.is_some_and(|d| d <= now))
-            .map(|(k, _)| *k)
-            .collect();
-        for (ep, remote) in due {
-            self.send_standalone_ack(now, ep, remote, actions);
+        // Delayed acks. Iterate the ordered index — the scan order feeds
+        // the emitted action order, which the goldens pin.
+        let mut due = std::mem::take(&mut self.scratch.due);
+        due.clear();
+        due.extend(self.conn_index.iter().filter_map(|(&(ep, remote), &tok)| {
+            self.conns
+                .get(tok)
+                .ack_deadline
+                .is_some_and(|d| d <= now)
+                .then_some((ep, remote, tok))
+        }));
+        for &(ep, remote, tok) in &due {
+            self.send_standalone_ack(now, ep, remote, tok, actions);
         }
+        due.clear();
+        self.scratch.due = due;
 
         // Eager retransmissions: go-back-N, triggered by the queue head and
         // limited to a short head burst. Cumulative acks for the resent head
@@ -548,8 +607,10 @@ impl NodeDriver {
         // burst per round trip instead of one full window per RTO.
         let rto = checked_delta(self.cfg.rto_ns, "rto_ns");
         let burst = self.cfg.retx_burst.max(1) as usize;
-        let mut resends: Vec<Packet> = Vec::new();
-        for c in self.conns.values_mut() {
+        let mut resends = std::mem::take(&mut self.scratch.resends);
+        resends.clear();
+        for &tok in self.conn_index.values() {
+            let c = self.conns.get_mut(tok);
             let head_overdue = c
                 .unacked
                 .front()
@@ -562,23 +623,27 @@ impl NodeDriver {
                 resends.push(*pkt);
             }
         }
-        for pkt in resends {
+        for &pkt in &resends {
             self.counters.eager_retransmits.incr();
             actions.push(DriverAction::Transmit(pkt));
         }
+        resends.clear();
+        self.scratch.resends = resends;
 
-        // Stalled pulls: re-request incomplete in-flight blocks.
-        let stalled: Vec<MsgKey> = self
-            .pulls
-            .iter()
-            .filter(|(_, p)| !p.done && now.saturating_since(p.last_progress) >= rto)
-            .map(|(k, _)| *k)
-            .collect();
-        for key in stalled {
-            let (requests, src_ep): (Vec<Packet>, u8) = {
-                let p = self.pulls.get_mut(&key).expect("stalled pull exists");
+        // Stalled pulls: re-request incomplete in-flight blocks, in key
+        // order (ordered index) for deterministic action order.
+        let mut stalled = std::mem::take(&mut self.scratch.stalled);
+        stalled.clear();
+        stalled.extend(self.pull_index.iter().filter_map(|(&key, &tok)| {
+            let p = self.pulls.get(tok);
+            (!p.done && now.saturating_since(p.last_progress) >= rto).then_some((key, tok))
+        }));
+        for &(key, tok) in &stalled {
+            let mut reqs = std::mem::take(&mut self.scratch.pkts);
+            reqs.clear();
+            let src_ep = {
+                let p = self.pulls.get_mut(tok);
                 p.last_progress = now;
-                let mut reqs = Vec::new();
                 for block in 0..p.next_block {
                     let expect = p.frames_in_block(block);
                     if p.block_frames[block as usize] < expect {
@@ -598,14 +663,19 @@ impl NodeDriver {
                         });
                     }
                 }
-                (reqs, p.ep)
+                p.ep
             };
-            for mut pkt in requests {
+            let ct = self.conn_token(src_ep, key.0);
+            let src = self.addr(src_ep);
+            for mut pkt in reqs.drain(..) {
                 self.counters.pull_rerequests.incr();
-                pkt.hdr.src = self.addr(src_ep);
-                self.finalize_and_push(now, src_ep, pkt, actions);
+                pkt.hdr.src = src;
+                self.finalize_and_push(now, src_ep, ct, pkt, actions);
             }
+            self.scratch.pkts = reqs;
         }
+        stalled.clear();
+        self.scratch.stalled = stalled;
 
         self.arm_timer_action(actions);
     }
@@ -620,7 +690,9 @@ impl NodeDriver {
                 _ => t,
             });
         };
-        for c in self.conns.values() {
+        // A min-fold is order-independent, so the slabs are scanned
+        // directly (slot order) without touching the ordered indexes.
+        for c in self.conns.iter() {
             if let Some(d) = c.ack_deadline {
                 consider(d);
             }
@@ -634,7 +706,7 @@ impl NodeDriver {
                 consider(*sent_at + rto);
             }
         }
-        for p in self.pulls.values() {
+        for p in self.pulls.iter() {
             if !p.done {
                 consider(p.last_progress + rto);
             }
@@ -655,19 +727,26 @@ impl NodeDriver {
         } else {
             1 // the rendezvous
         };
+        let ct = self.conn_token(send.ep, send.dst);
         {
             let window = self.cfg.window_packets;
-            let conn = self.conn(send.ep, send.dst);
+            let conn = self.conns.get_mut(ct);
             let inflight = conn.unacked.len() as u32;
             if !conn.queued.is_empty() || inflight + pkts_needed > window {
                 conn.queued.push_back(send);
                 return;
             }
         }
-        self.emit_send(now, send, actions);
+        self.emit_send(now, send, ct, actions);
     }
 
-    fn emit_send(&mut self, now: Time, send: QueuedSend, actions: &mut Vec<DriverAction>) {
+    fn emit_send(
+        &mut self,
+        now: Time,
+        send: QueuedSend,
+        ct: SlabToken,
+        actions: &mut Vec<DriverAction>,
+    ) {
         let msg = MsgId(self.next_msg);
         self.next_msg += 1;
         let src = self.addr(send.ep);
@@ -688,7 +767,7 @@ impl NodeDriver {
                 },
             };
             self.counters.eager_sent.incr();
-            self.finalize_eager_and_push(now, send.ep, pkt, actions);
+            self.finalize_eager_and_push(now, send.ep, ct, pkt, actions);
             self.counters.send_completions.incr();
             actions.push(DriverAction::SendComplete {
                 ep: send.ep,
@@ -721,7 +800,7 @@ impl NodeDriver {
                     },
                 };
                 self.counters.eager_sent.incr();
-                self.finalize_eager_and_push(now, send.ep, pkt, actions);
+                self.finalize_eager_and_push(now, send.ep, ct, pkt, actions);
             }
             self.counters.send_completions.incr();
             actions.push(DriverAction::SendComplete {
@@ -729,16 +808,15 @@ impl NodeDriver {
                 handle: send.handle,
             });
         } else {
-            // Large: rendezvous now; completion on notify.
-            self.sends.insert(
-                msg,
-                SendState::Large {
-                    ep: send.ep,
-                    handle: send.handle,
-                    dst: send.dst,
-                    len: send.len,
-                },
-            );
+            // Large: rendezvous now; completion on notify (message birth —
+            // the only time the send index is written).
+            let tok = self.sends.insert(SendState::Large {
+                ep: send.ep,
+                handle: send.handle,
+                dst: send.dst,
+                len: send.len,
+            });
+            self.send_index.insert(msg, tok);
             let pkt = Packet {
                 hdr: OmxHeader {
                     src,
@@ -754,7 +832,7 @@ impl NodeDriver {
                 },
             };
             self.counters.eager_sent.incr();
-            self.finalize_eager_and_push(now, send.ep, pkt, actions);
+            self.finalize_eager_and_push(now, send.ep, ct, pkt, actions);
         }
     }
 
@@ -764,63 +842,57 @@ impl NodeDriver {
         &mut self,
         now: Time,
         ep: u8,
+        ct: SlabToken,
         mut pkt: Packet,
         actions: &mut Vec<DriverAction>,
     ) {
         // Marking must be applied before the packet is stored for
         // retransmission so a resent packet keeps its marker.
         self.cfg.marking.apply(&mut pkt);
-        let remote = pkt.hdr.dst;
-        let conn = self.conn(ep, remote);
+        let conn = self.conns.get_mut(ct);
         conn.next_seq += 1;
         pkt.hdr.seq = conn.next_seq;
         conn.unacked.push_back((pkt.hdr.seq, pkt, now));
-        self.finalize_and_push(now, ep, pkt, actions);
+        self.finalize_and_push(now, ep, ct, pkt, actions);
     }
 
     /// Apply marking + piggyback ack and emit (no sequencing — used for
-    /// pull traffic, which has its own recovery).
+    /// pull traffic, which has its own recovery). `ct` must be the handle
+    /// of the (`ep`, `pkt.hdr.dst`) connection.
     fn finalize_and_push(
         &mut self,
         now: Time,
         ep: u8,
+        ct: SlabToken,
         mut pkt: Packet,
         actions: &mut Vec<DriverAction>,
     ) {
         self.cfg.marking.apply(&mut pkt);
-        let remote = pkt.hdr.dst;
-        let conn = self.conn(ep, remote);
+        let conn = self.conns.get_mut(ct);
+        debug_assert_eq!(self.conn_index.get(&(ep, pkt.hdr.dst)), Some(&ct));
         // Piggyback the reverse-direction cumulative ack.
         pkt.hdr.ack = conn.cum_recv;
         conn.unacked_rx = 0;
         conn.ack_deadline = None;
-        let _ = now;
+        let _ = (now, ep);
         actions.push(DriverAction::Transmit(pkt));
     }
 
     // -- ack handling ------------------------------------------------------------
 
-    fn process_ack(
-        &mut self,
-        now: Time,
-        ep: u8,
-        remote: EndpointAddr,
-        ack: u64,
-        actions: &mut Vec<DriverAction>,
-    ) {
+    fn process_ack(&mut self, now: Time, ct: SlabToken, ack: u64, actions: &mut Vec<DriverAction>) {
         let window = self.cfg.window_packets;
         let mtu = self.cfg.mtu;
-        let released = {
-            let conn = self.conn(ep, remote);
-            if ack <= conn.acked {
-                Vec::new()
-            } else {
+        let mut released = std::mem::take(&mut self.scratch.released);
+        released.clear();
+        {
+            let conn = self.conns.get_mut(ct);
+            if ack > conn.acked {
                 conn.acked = ack;
                 while conn.unacked.front().is_some_and(|(seq, _, _)| *seq <= ack) {
                     conn.unacked.pop_front();
                 }
                 // Release queued sends that now fit the window.
-                let mut released: Vec<QueuedSend> = Vec::new();
                 loop {
                     let inflight = conn.unacked.len() as u32
                         + released
@@ -850,16 +922,18 @@ impl NodeDriver {
                     }
                     released.push(conn.queued.pop_front().expect("front exists"));
                 }
-                released
             }
-        };
-        for send in released {
-            self.emit_send(now, send, actions);
         }
+        // Released sends were queued on this very connection, so `ct` is
+        // the right handle for their sequencing.
+        for send in released.drain(..) {
+            self.emit_send(now, send, ct, actions);
+        }
+        self.scratch.released = released;
     }
 
-    fn accept_eager_seq(&mut self, _now: Time, ep: u8, remote: EndpointAddr, seq: u64) -> bool {
-        let conn = self.conn(ep, remote);
+    fn accept_eager_seq(&mut self, ct: SlabToken, seq: u64) -> bool {
+        let conn = self.conns.get_mut(ct);
         if seq <= conn.cum_recv || conn.recv_above.contains(&seq) {
             return false;
         }
@@ -875,26 +949,26 @@ impl NodeDriver {
         now: Time,
         ep: u8,
         remote: EndpointAddr,
+        ct: SlabToken,
         actions: &mut Vec<DriverAction>,
     ) {
-        let (should_ack_now, arm) = {
+        let should_ack_now = {
             let delayed = checked_delta(self.cfg.delayed_ack_ns, "delayed_ack_ns");
             let ack_every = self.cfg.ack_every;
-            let conn = self.conn(ep, remote);
+            let conn = self.conns.get_mut(ct);
             conn.unacked_rx += 1;
             if conn.unacked_rx >= ack_every {
-                (true, false)
+                true
             } else {
                 if conn.ack_deadline.is_none() {
                     conn.ack_deadline = Some(now + delayed);
                 }
-                (false, true)
+                false
             }
         };
         if should_ack_now {
-            self.send_standalone_ack(now, ep, remote, actions);
+            self.send_standalone_ack(now, ep, remote, ct, actions);
         }
-        let _ = arm;
     }
 
     fn send_standalone_ack(
@@ -902,10 +976,11 @@ impl NodeDriver {
         _now: Time,
         ep: u8,
         remote: EndpointAddr,
+        ct: SlabToken,
         actions: &mut Vec<DriverAction>,
     ) {
         let cum = {
-            let conn = self.conn(ep, remote);
+            let conn = self.conns.get_mut(ct);
             conn.unacked_rx = 0;
             conn.ack_deadline = None;
             conn.cum_recv
@@ -983,16 +1058,22 @@ impl NodeDriver {
             self.counters.duplicates.incr();
             return;
         }
-        let entry = self.mediums.entry(key).or_insert_with(|| MediumRx {
-            src,
-            ep,
-            match_info,
-            total_len,
-            frag_count,
-            received: BTreeSet::new(),
-            handle: None,
-            done: false,
+        // One index probe per fragment (message birth inserts the token);
+        // the match and the completion check below go through the handle.
+        let mediums = &mut self.mediums;
+        let tok = *self.medium_index.entry(key).or_insert_with(|| {
+            mediums.insert(MediumRx {
+                src,
+                ep,
+                match_info,
+                total_len,
+                frag_count,
+                received: BTreeSet::new(),
+                handle: None,
+                done: false,
+            })
         });
+        let entry = self.mediums.get_mut(tok);
         let fresh_msg = entry.received.is_empty();
         entry.received.insert(frag);
 
@@ -1005,20 +1086,27 @@ impl NodeDriver {
                 len: total_len,
             };
             if let Some(recv) = self.endpoints[ep as usize].matcher.incoming(incoming) {
-                self.mediums.get_mut(&key).expect("just inserted").handle = Some(recv.handle);
+                self.mediums.get_mut(tok).handle = Some(recv.handle);
             }
         }
-        self.try_complete_medium(now, key, actions);
+        self.try_complete_medium(now, key, tok, actions);
     }
 
-    fn try_complete_medium(&mut self, _now: Time, key: MsgKey, actions: &mut Vec<DriverAction>) {
-        let Some(m) = self.mediums.get(&key) else {
-            return;
-        };
+    fn try_complete_medium(
+        &mut self,
+        _now: Time,
+        key: MsgKey,
+        tok: SlabToken,
+        actions: &mut Vec<DriverAction>,
+    ) {
+        let m = self.mediums.get(tok);
         if m.done || m.handle.is_none() || (m.received.len() as u32) < m.frag_count {
             return;
         }
-        let m = self.mediums.remove(&key).expect("checked above");
+        // Message death: drop the index entry and free the slot (the
+        // generation bump makes any stale handle to it panic).
+        self.medium_index.remove(&key);
+        let m = self.mediums.remove(tok);
         self.finished.insert(key);
         self.counters.recv_completions.incr();
         actions.push(DriverAction::RecvComplete {
@@ -1043,7 +1131,7 @@ impl NodeDriver {
         actions: &mut Vec<DriverAction>,
     ) {
         let key = (src, msg);
-        if self.finished.contains(&key) || self.pulls.contains_key(&key) {
+        if self.finished.contains(&key) || self.pull_index.contains_key(&key) {
             self.counters.duplicates.incr();
             return;
         }
@@ -1098,7 +1186,8 @@ impl NodeDriver {
             done: false,
         };
         let first_wave = total_blocks.min(PULL_PIPELINE);
-        let mut requests = Vec::new();
+        let mut requests = std::mem::take(&mut self.scratch.pkts);
+        requests.clear();
         for block in 0..first_wave {
             requests.push(Packet {
                 hdr: OmxHeader {
@@ -1116,10 +1205,15 @@ impl NodeDriver {
             });
         }
         pull.next_block = first_wave;
-        self.pulls.insert((src, msg), pull);
-        for pkt in requests {
-            self.finalize_and_push(now, ep, pkt, actions);
+        // Message birth: the pull index is written here and read again only
+        // by the timer's stall scan and the per-reply resolution.
+        let tok = self.pulls.insert(pull);
+        self.pull_index.insert((src, msg), tok);
+        let ct = self.conn_token(ep, src);
+        for pkt in requests.drain(..) {
+            self.finalize_and_push(now, ep, ct, pkt, actions);
         }
+        self.scratch.pkts = requests;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1128,23 +1222,26 @@ impl NodeDriver {
         now: Time,
         ep: u8,
         src: EndpointAddr,
+        ct: SlabToken,
         msg: MsgId,
         block: u32,
         frame_count: u32,
         actions: &mut Vec<DriverAction>,
     ) {
         // We are the *sender* of the large message; answer with data frames.
-        let Some(SendState::Large { len, dst, .. }) = self.sends.get(&msg) else {
+        let Some(&stok) = self.send_index.get(&msg) else {
             // Unknown (already completed): stale re-request; ignore.
             self.counters.duplicates.incr();
             return;
         };
+        let SendState::Large { len, dst, .. } = self.sends.get(stok);
         debug_assert_eq!(*dst, src, "pull request from unexpected peer");
         let total_len = *len;
         let per = pull_frame_payload(self.cfg.mtu);
         let total_frames = pull_frame_count(total_len, self.cfg.mtu);
         let base_frame = block * PULL_BLOCK_FRAMES;
-        let mut replies = Vec::new();
+        let mut replies = std::mem::take(&mut self.scratch.pkts);
+        replies.clear();
         for frame in 0..frame_count {
             let global = base_frame + frame;
             debug_assert!(global < total_frames);
@@ -1170,9 +1267,10 @@ impl NodeDriver {
                 },
             });
         }
-        for pkt in replies {
-            self.finalize_and_push(now, ep, pkt, actions);
+        for pkt in replies.drain(..) {
+            self.finalize_and_push(now, ep, ct, pkt, actions);
         }
+        self.scratch.pkts = replies;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1181,6 +1279,7 @@ impl NodeDriver {
         now: Time,
         ep: u8,
         src: EndpointAddr,
+        ct: SlabToken,
         msg: MsgId,
         block: u32,
         _frame: u32,
@@ -1188,10 +1287,11 @@ impl NodeDriver {
         actions: &mut Vec<DriverAction>,
     ) {
         let key = (src, msg);
-        let Some(pull) = self.pulls.get_mut(&key) else {
+        let Some(&ptok) = self.pull_index.get(&key) else {
             self.counters.duplicates.incr();
             return;
         };
+        let pull = self.pulls.get_mut(ptok);
         if pull.done {
             return;
         }
@@ -1230,10 +1330,12 @@ impl NodeDriver {
                     frame_count: fc,
                 },
             };
-            self.finalize_and_push(now, ep, pkt, actions);
+            self.finalize_and_push(now, ep, ct, pkt, actions);
         }
         if all_done {
-            let pull = self.pulls.remove(&key).expect("pull exists");
+            // Message death: free slot + index entry together.
+            self.pull_index.remove(&key);
+            let pull = self.pulls.remove(ptok);
             self.finished.insert(key);
             // Notify the sender, then complete the receive.
             let notify = Packet {
@@ -1247,7 +1349,7 @@ impl NodeDriver {
                 kind: PacketKind::Notify { msg },
             };
             self.counters.eager_sent.incr();
-            self.finalize_eager_and_push(now, ep, notify, actions);
+            self.finalize_eager_and_push(now, ep, ct, notify, actions);
             self.counters.recv_completions.incr();
             actions.push(DriverAction::RecvComplete {
                 ep: pull.ep,
@@ -1268,7 +1370,9 @@ impl NodeDriver {
         msg: MsgId,
         actions: &mut Vec<DriverAction>,
     ) {
-        if let Some(SendState::Large { ep, handle, .. }) = self.sends.remove(&msg) {
+        // Message death for the sender-side large state.
+        if let Some(tok) = self.send_index.remove(&msg) {
+            let SendState::Large { ep, handle, .. } = self.sends.remove(tok);
             self.counters.send_completions.incr();
             actions.push(DriverAction::SendComplete { ep, handle });
         } else {
@@ -1297,10 +1401,10 @@ impl NodeDriver {
                 len: unexpected.len,
             });
         } else if unexpected.len <= MEDIUM_MAX {
-            if let Some(m) = self.mediums.get_mut(&key) {
-                m.handle = Some(handle);
+            if let Some(&tok) = self.medium_index.get(&key) {
+                self.mediums.get_mut(tok).handle = Some(handle);
+                self.try_complete_medium(now, key, tok, actions);
             }
-            self.try_complete_medium(now, key, actions);
         } else {
             self.begin_pull(
                 now,
@@ -1322,7 +1426,8 @@ impl NodeDriver {
     /// with no posted receive) are *not* listed: the protocol has done its
     /// part and the driver holds them indefinitely by design.
     pub fn pending_report(&self, out: &mut Vec<PendingEntry>) {
-        for ((ep, remote), conn) in &self.conns {
+        for (&(ep, remote), &tok) in &self.conn_index {
+            let conn = self.conns.get(tok);
             for send in &conn.queued {
                 out.push(PendingEntry {
                     phase: "window-queued",
@@ -1347,9 +1452,10 @@ impl NodeDriver {
             }
         }
         let mut larges: Vec<(u64, String)> = self
-            .sends
+            .send_index
             .iter()
-            .map(|(msg, SendState::Large { ep, dst, len, .. })| {
+            .map(|(msg, &tok)| {
+                let SendState::Large { ep, dst, len, .. } = self.sends.get(tok);
                 (
                     msg.0,
                     format!(
@@ -1365,20 +1471,22 @@ impl NodeDriver {
             detail,
         }));
         let mut mediums: Vec<(u64, String)> = self
-            .mediums
+            .medium_index
             .iter()
-            .filter(|(_, m)| (m.received.len() as u32) < m.frag_count)
-            .map(|((src, msg), m)| {
-                (
-                    msg.0,
-                    format!(
-                        "node {} msg {} from {src:?}: medium reassembly stuck at {}/{} fragments",
-                        self.local,
+            .filter_map(|(&(src, msg), &tok)| {
+                let m = self.mediums.get(tok);
+                ((m.received.len() as u32) < m.frag_count).then(|| {
+                    (
                         msg.0,
-                        m.received.len(),
-                        m.frag_count
-                    ),
-                )
+                        format!(
+                            "node {} msg {} from {src:?}: medium reassembly stuck at {}/{} fragments",
+                            self.local,
+                            msg.0,
+                            m.received.len(),
+                            m.frag_count
+                        ),
+                    )
+                })
             })
             .collect();
         mediums.sort_unstable();
@@ -1386,7 +1494,11 @@ impl NodeDriver {
             phase: "medium-reassembly",
             detail,
         }));
-        for ((src, msg), p) in self.pulls.iter().filter(|(_, p)| !p.done) {
+        for (&(src, msg), &tok) in &self.pull_index {
+            let p = self.pulls.get(tok);
+            if p.done {
+                continue;
+            }
             out.push(PendingEntry {
                 phase: "pull",
                 detail: format!(

@@ -37,7 +37,9 @@ pub struct Sanitizer {
     /// per-node monotone counter, so the pair is globally unique and a
     /// repeat means the dup-suppression path delivered a copy twice.
     seen: HashSet<(u16, u64)>,
-    duplicate_deliveries: Vec<String>,
+    /// `(src, dst, msg_id)` of each duplicate delivery. Recorded raw so the
+    /// per-delivery hook never formats; rendering happens in [`report`](Sanitizer::report).
+    duplicate_deliveries: Vec<(u16, u16, u64)>,
 }
 
 impl Sanitizer {
@@ -57,9 +59,7 @@ impl Sanitizer {
         self.msgs_delivered += 1;
         self.bytes_delivered += u64::from(len);
         if !self.seen.insert((src, msg_id)) {
-            self.duplicate_deliveries.push(format!(
-                "duplicate delivery: msg {msg_id} from node {src} delivered twice at node {dst}"
-            ));
+            self.duplicate_deliveries.push((src, dst, msg_id));
         }
     }
 
@@ -71,7 +71,15 @@ impl Sanitizer {
             msgs_send_completed: self.msgs_send_completed,
             bytes_posted: self.bytes_posted,
             bytes_delivered: self.bytes_delivered,
-            violations: self.duplicate_deliveries.clone(),
+            violations: self
+                .duplicate_deliveries
+                .iter()
+                .map(|&(src, dst, msg_id)| {
+                    format!(
+                        "duplicate delivery: msg {msg_id} from node {src} delivered twice at node {dst}"
+                    )
+                })
+                .collect(),
         }
     }
 }

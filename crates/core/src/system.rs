@@ -1010,7 +1010,7 @@ impl Cluster {
                 // The fabric carries full frames: MTU + Ethernet + Open-MX
                 // headers.
                 mtu: cfg.fabric.mtu + ETH_HEADER_BYTES + OMX_HEADER_BYTES,
-                ..cfg.fabric.clone()
+                ..cfg.fabric
             },
             rng.fork(1),
         );

@@ -1,0 +1,26 @@
+//! Hot-path type layout regression tests.
+//!
+//! `Packet` is copied on every transmit, retransmit-queue insert, and trace
+//! record; `DriverAction` is pushed into the per-tick action scratch on
+//! every protocol step; `TraceEvent` embeds a `Packet` and is written per
+//! frame when tracing. A grown enum variant silently doubles the memcpy
+//! traffic on all of those paths, so the exact sizes are pinned here — if a
+//! change legitimately needs a bigger variant, move the payload behind a
+//! `Box` or shrink a field, and only then update the constant.
+
+use std::mem::size_of;
+
+#[test]
+fn packet_stays_compact() {
+    assert_eq!(size_of::<omx_core::wire::Packet>(), 72);
+}
+
+#[test]
+fn driver_action_stays_compact() {
+    assert_eq!(size_of::<omx_core::proto::DriverAction>(), 72);
+}
+
+#[test]
+fn trace_event_stays_compact() {
+    assert_eq!(size_of::<omx_core::trace::TraceEvent>(), 104);
+}

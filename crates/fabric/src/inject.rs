@@ -9,8 +9,10 @@
 
 use omx_sim::rng::SimRng;
 
-/// Configuration of the fabric disturbance injector.
-#[derive(Debug, Clone)]
+/// Configuration of the fabric disturbance injector. All fields are
+/// scalars, so the config is `Copy` — constructing an [`Injector`] or a
+/// fabric never clones.
+#[derive(Debug, Clone, Copy)]
 pub struct DisturbanceConfig {
     /// Probability that a frame receives extra delay.
     pub delay_probability: f64,
@@ -210,7 +212,7 @@ mod tests {
             loss_probability: 0.1,
             jitter_ns: 5,
         };
-        let mut a = Injector::new(cfg.clone(), SimRng::new(99));
+        let mut a = Injector::new(cfg, SimRng::new(99));
         let mut b = Injector::new(cfg, SimRng::new(99));
         for _ in 0..1000 {
             assert_eq!(a.decide(), b.decide());

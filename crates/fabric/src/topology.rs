@@ -23,8 +23,10 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub usize);
 
-/// Fabric-wide configuration.
-#[derive(Debug, Clone)]
+/// Fabric-wide configuration. Plain-old-data throughout ([`LinkConfig`]
+/// and [`DisturbanceConfig`] are `Copy`), so fabrics and clusters embed it
+/// by value — no per-construction clone.
+#[derive(Debug, Clone, Copy)]
 pub struct FabricConfig {
     /// Link characteristics (same for every hop; the testbed was homogeneous).
     pub link: LinkConfig,
@@ -119,7 +121,7 @@ pub struct EthernetFabric {
 impl EthernetFabric {
     /// Build a fabric with `ports` host ports.
     pub fn new(ports: usize, cfg: FabricConfig, rng: SimRng) -> Self {
-        let injector = Injector::new(cfg.disturbance.clone(), rng);
+        let injector = Injector::new(cfg.disturbance, rng);
         EthernetFabric {
             cfg,
             host_egress: vec![PortClock::new(); ports],
@@ -375,7 +377,7 @@ mod tests {
         };
         let mut checked = false;
         for seed in 0..64 {
-            let mut f = EthernetFabric::new(2, cfg.clone(), SimRng::new(seed));
+            let mut f = EthernetFabric::new(2, cfg, SimRng::new(seed));
             let first = f.transmit(Time::ZERO, PortId(0), PortId(1), 1500);
             if first != TransmitOutcome::Lost {
                 continue;

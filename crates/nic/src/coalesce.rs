@@ -558,6 +558,138 @@ impl CoalescingStrategy {
             CoalescingStrategy::Adaptive { .. } => "adaptive",
         }
     }
+
+    /// Instantiate the strategy with static dispatch (what the NIC stores).
+    pub fn build_active(self) -> ActiveCoalescer {
+        match self {
+            CoalescingStrategy::Disabled => ActiveCoalescer::Disabled(DisabledCoalescing),
+            CoalescingStrategy::Timeout { delay_us } => {
+                ActiveCoalescer::Timeout(TimeoutCoalescing::new(delay_us))
+            }
+            CoalescingStrategy::OpenMx { delay_us } => {
+                ActiveCoalescer::OpenMx(OpenMxCoalescing::new(delay_us))
+            }
+            CoalescingStrategy::Stream { delay_us } => {
+                ActiveCoalescer::Stream(StreamCoalescing::new(delay_us))
+            }
+            CoalescingStrategy::Adaptive {
+                min_delay_us,
+                max_delay_us,
+            } => ActiveCoalescer::Adaptive(AdaptiveCoalescing::new(
+                min_delay_us,
+                max_delay_us,
+                25_000.0,
+                250_000.0,
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static dispatch
+// ---------------------------------------------------------------------------
+
+/// The coalescer the NIC actually drives. The five built-in strategies are
+/// enum variants, so the per-frame hooks (`on_packet_arrival` /
+/// `on_dma_complete` run once per frame) compile to a jump table over
+/// inlined bodies instead of a `Box<dyn Coalescer>` virtual call through a
+/// heap pointer. User-supplied [`Coalescer`] implementations (via
+/// `Nic::set_strategy`) keep working through the [`ActiveCoalescer::Custom`]
+/// escape hatch, which preserves the old dynamic dispatch for exactly the
+/// code that needs it.
+pub enum ActiveCoalescer {
+    /// [`DisabledCoalescing`].
+    Disabled(DisabledCoalescing),
+    /// [`TimeoutCoalescing`].
+    Timeout(TimeoutCoalescing),
+    /// [`OpenMxCoalescing`].
+    OpenMx(OpenMxCoalescing),
+    /// [`StreamCoalescing`].
+    Stream(StreamCoalescing),
+    /// [`AdaptiveCoalescing`].
+    Adaptive(AdaptiveCoalescing),
+    /// A user-supplied strategy behind the original trait object.
+    Custom(Box<dyn Coalescer>),
+}
+
+impl ActiveCoalescer {
+    /// See [`Coalescer::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.name(),
+            ActiveCoalescer::Timeout(c) => c.name(),
+            ActiveCoalescer::OpenMx(c) => c.name(),
+            ActiveCoalescer::Stream(c) => c.name(),
+            ActiveCoalescer::Adaptive(c) => c.name(),
+            ActiveCoalescer::Custom(c) => c.name(),
+        }
+    }
+
+    /// See [`Coalescer::on_packet_arrival`].
+    pub fn on_packet_arrival(&mut self, now: Time, meta: &PacketMeta) -> Decision {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.on_packet_arrival(now, meta),
+            ActiveCoalescer::Timeout(c) => c.on_packet_arrival(now, meta),
+            ActiveCoalescer::OpenMx(c) => c.on_packet_arrival(now, meta),
+            ActiveCoalescer::Stream(c) => c.on_packet_arrival(now, meta),
+            ActiveCoalescer::Adaptive(c) => c.on_packet_arrival(now, meta),
+            ActiveCoalescer::Custom(c) => c.on_packet_arrival(now, meta),
+        }
+    }
+
+    /// See [`Coalescer::on_dma_complete`].
+    pub fn on_dma_complete(
+        &mut self,
+        now: Time,
+        marked: bool,
+        pending_dmas: usize,
+        ready_packets: u32,
+    ) -> Decision {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::Timeout(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::OpenMx(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::Stream(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::Adaptive(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::Custom(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+        }
+    }
+
+    /// See [`Coalescer::on_timer`].
+    pub fn on_timer(&mut self, now: Time) -> Decision {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.on_timer(now),
+            ActiveCoalescer::Timeout(c) => c.on_timer(now),
+            ActiveCoalescer::OpenMx(c) => c.on_timer(now),
+            ActiveCoalescer::Stream(c) => c.on_timer(now),
+            ActiveCoalescer::Adaptive(c) => c.on_timer(now),
+            ActiveCoalescer::Custom(c) => c.on_timer(now),
+        }
+    }
+
+    /// See [`Coalescer::on_interrupt`].
+    pub fn on_interrupt(&mut self, now: Time) {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.on_interrupt(now),
+            ActiveCoalescer::Timeout(c) => c.on_interrupt(now),
+            ActiveCoalescer::OpenMx(c) => c.on_interrupt(now),
+            ActiveCoalescer::Stream(c) => c.on_interrupt(now),
+            ActiveCoalescer::Adaptive(c) => c.on_interrupt(now),
+            ActiveCoalescer::Custom(c) => c.on_interrupt(now),
+        }
+    }
+
+    /// See [`Coalescer::fallback_delay`].
+    pub fn fallback_delay(&self) -> Option<TimeDelta> {
+        match self {
+            ActiveCoalescer::Disabled(c) => c.fallback_delay(),
+            ActiveCoalescer::Timeout(c) => c.fallback_delay(),
+            ActiveCoalescer::OpenMx(c) => c.fallback_delay(),
+            ActiveCoalescer::Stream(c) => c.fallback_delay(),
+            ActiveCoalescer::Adaptive(c) => c.fallback_delay(),
+            ActiveCoalescer::Custom(c) => c.fallback_delay(),
+        }
+    }
 }
 
 #[cfg(test)]

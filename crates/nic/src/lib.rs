@@ -38,8 +38,8 @@ pub mod nic;
 pub mod packet;
 
 pub use coalesce::{
-    AdaptiveCoalescing, Coalescer, CoalescingStrategy, Decision, DisabledCoalescing,
-    OpenMxCoalescing, StreamCoalescing, TimeoutCoalescing, TimerAction,
+    ActiveCoalescer, AdaptiveCoalescing, Coalescer, CoalescingStrategy, Decision,
+    DisabledCoalescing, OpenMxCoalescing, StreamCoalescing, TimeoutCoalescing, TimerAction,
 };
 pub use dma::{DmaConfig, DmaEngine};
 pub use nic::{Nic, NicConfig, NicCounters, NicOutcome, ReadyPacket};

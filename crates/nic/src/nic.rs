@@ -14,7 +14,7 @@
 //! All methods return a [`NicOutcome`] describing the events the caller must
 //! schedule (DMA completion, timer expiry) or act on (interrupt delivery).
 
-use crate::coalesce::{Coalescer, CoalescingStrategy, Decision, TimerAction};
+use crate::coalesce::{ActiveCoalescer, Coalescer, CoalescingStrategy, Decision, TimerAction};
 use crate::dma::{DmaConfig, DmaEngine};
 use crate::packet::{DescId, PacketClass, PacketMeta};
 use omx_sim::stats::{Counter, Histogram};
@@ -114,7 +114,7 @@ omx_sim::impl_from_json!(NicCounters {
 /// The simulated NIC.
 pub struct Nic {
     cfg: NicConfig,
-    strategy: Box<dyn Coalescer>,
+    strategy: ActiveCoalescer,
     dma: DmaEngine,
     /// Metadata of descriptors whose DMA is in flight, FIFO order.
     inflight_meta: std::collections::VecDeque<(DescId, PacketMeta)>,
@@ -147,7 +147,7 @@ pub struct Nic {
 impl Nic {
     /// Build a NIC from its configuration.
     pub fn new(cfg: NicConfig) -> Self {
-        let strategy = cfg.strategy.build();
+        let strategy = cfg.strategy.build_active();
         Nic {
             cfg,
             strategy,
@@ -173,9 +173,11 @@ impl Nic {
     }
 
     /// Replace the coalescing strategy (for custom [`Coalescer`] impls that
-    /// are not expressible as a [`CoalescingStrategy`]).
+    /// are not expressible as a [`CoalescingStrategy`]). Built-in strategies
+    /// installed through [`NicConfig`] use static dispatch; a strategy set
+    /// here runs behind the trait object it arrived in.
     pub fn set_strategy(&mut self, strategy: Box<dyn Coalescer>) {
-        self.strategy = strategy;
+        self.strategy = ActiveCoalescer::Custom(strategy);
     }
 
     /// The active strategy's name.
@@ -616,6 +618,33 @@ mod tests {
         let out = n.on_timer(at, ep);
         assert!(out.interrupt, "packet C claimed via the safety timer");
         assert_eq!(n.drain_ready().len(), 1);
+    }
+
+    #[test]
+    fn custom_strategy_runs_behind_the_trait_object() {
+        struct AlwaysRaise;
+        impl Coalescer for AlwaysRaise {
+            fn name(&self) -> &'static str {
+                "always-raise"
+            }
+            fn on_packet_arrival(&mut self, _: Time, _: &PacketMeta) -> Decision {
+                Decision::NONE
+            }
+            fn on_dma_complete(&mut self, _: Time, _: bool, _: usize, _: u32) -> Decision {
+                Decision::RAISE
+            }
+            fn on_timer(&mut self, _: Time) -> Decision {
+                Decision::NONE
+            }
+            fn on_interrupt(&mut self, _: Time) {}
+        }
+        let mut n = nic(CoalescingStrategy::Timeout { delay_us: 75 });
+        n.set_strategy(Box::new(AlwaysRaise));
+        assert_eq!(n.strategy_name(), "always-raise");
+        let out = n.on_frame(t(0), PacketMeta::omx(100, false));
+        let (d, a) = out.dma.unwrap();
+        let out = n.on_dma_complete(a, d);
+        assert!(out.interrupt, "custom strategy raises per completion");
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Generation-stamped slab: dense O(1) storage with use-after-free
+//! detection.
+//!
+//! The same idiom the [`crate::EventQueue`] uses for event tokens, made
+//! generic so stateful protocol layers can replace per-packet map lookups
+//! with handle dereferences: values live in a dense `Vec`, freed slots go
+//! on a free list, and every slot carries a generation counter that is
+//! bumped on free. A [`SlabToken`] captures `(slot, generation)` at insert
+//! time, so dereferencing a token whose value was since removed — the slab
+//! analogue of a dangling pointer — panics instead of silently reading
+//! whatever reused the slot.
+//!
+//! Lookups by token are a bounds check plus a generation compare; no
+//! hashing, no tree walk, no allocation. The intended pattern is a small
+//! key→token map touched only at birth/death of an entry, with every
+//! hot-path access going through the token.
+
+/// Handle to a value in a [`Slab`]: slot index plus the generation the
+/// slot had when the value was inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabToken {
+    slot: u32,
+    gen: u32,
+}
+
+impl SlabToken {
+    /// The slot index (stable for the lifetime of the entry).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+struct Entry<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// Dense generation-checked storage. See the module docs.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `val`, reusing a freed slot if one exists.
+    pub fn insert(&mut self, val: T) -> SlabToken {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            debug_assert!(e.val.is_none());
+            e.val = Some(val);
+            SlabToken { slot, gen: e.gen }
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("slab capacity");
+            self.entries.push(Entry { gen: 0, val: Some(val) });
+            SlabToken { slot, gen: 0 }
+        }
+    }
+
+    #[track_caller]
+    fn check(&self, tok: SlabToken) -> &Entry<T> {
+        let e = &self.entries[tok.slot as usize];
+        assert_eq!(
+            e.gen, tok.gen,
+            "stale slab token: slot {} is at generation {}, token was minted at {}",
+            tok.slot, e.gen, tok.gen
+        );
+        e
+    }
+
+    /// True if `tok` still refers to a live value.
+    pub fn contains(&self, tok: SlabToken) -> bool {
+        self.entries
+            .get(tok.slot as usize)
+            .is_some_and(|e| e.gen == tok.gen && e.val.is_some())
+    }
+
+    /// Dereference. Panics if the token is stale (the value was removed).
+    #[track_caller]
+    pub fn get(&self, tok: SlabToken) -> &T {
+        self.check(tok).val.as_ref().expect("stale slab token: slot was freed")
+    }
+
+    /// Mutable dereference. Panics if the token is stale.
+    #[track_caller]
+    pub fn get_mut(&mut self, tok: SlabToken) -> &mut T {
+        self.check(tok);
+        self.entries[tok.slot as usize]
+            .val
+            .as_mut()
+            .expect("stale slab token: slot was freed")
+    }
+
+    /// Remove and return the value. The slot's generation is bumped, so
+    /// every outstanding token to it becomes stale.
+    #[track_caller]
+    pub fn remove(&mut self, tok: SlabToken) -> T {
+        self.check(tok);
+        let e = &mut self.entries[tok.slot as usize];
+        let val = e.val.take().expect("stale slab token: slot was freed");
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(tok.slot);
+        self.len -= 1;
+        val
+    }
+
+    /// Iterate live values in slot order. Slot order is allocation-history
+    /// dependent — callers needing a deterministic order must iterate
+    /// their own key→token index instead.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().filter_map(|e| e.val.as_ref())
+    }
+
+    /// Mutably iterate live values in slot order (same caveat as [`iter`](Slab::iter)).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut().filter_map(|e| e.val.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.get(a), "a");
+        assert_eq!(*s.get_mut(b), "b");
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn slots_are_reused_with_fresh_generations() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        assert_eq!(b.slot(), a.slot(), "freed slot is reused");
+        assert_ne!(a, b, "but the generation differs");
+        assert_eq!(*s.get(b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab token")]
+    fn stale_get_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        s.insert(2u32); // reuses the slot at a new generation
+        s.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab token")]
+    fn stale_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab token")]
+    fn freed_slot_without_reuse_still_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        // Slot not yet reused: generation was bumped on free, so the old
+        // token must not read the tombstone either.
+        s.get(a);
+    }
+
+    #[test]
+    fn iter_skips_freed_slots() {
+        let mut s = Slab::new();
+        let _a = s.insert(1u32);
+        let b = s.insert(2u32);
+        let _c = s.insert(3u32);
+        s.remove(b);
+        let live: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(live, vec![1, 3]);
+    }
+}
