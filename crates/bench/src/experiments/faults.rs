@@ -19,6 +19,8 @@ use crate::report::Table;
 use omx_core::prelude::*;
 use omx_core::system::{Actor, ActorCtx, RecvCompletion};
 use omx_fabric::DisturbanceConfig;
+use omx_sim::json::{Json, ToJson};
+use omx_sim::stats::Histogram;
 use omx_sim::StopCondition;
 use std::any::Any;
 
@@ -64,6 +66,10 @@ pub struct FaultCell {
     /// Sanitizer violations (always 0 in a successful run; kept in the
     /// report so a `--keep-going` future mode stays honest).
     pub sanitizer_violations: u64,
+    /// Per-message post-to-completion latency percentiles, present only
+    /// when the campaign ran with `--slo` (the field is omitted from the
+    /// JSON otherwise, so default reports stay byte-identical).
+    pub slo: Option<SloSummary>,
 }
 
 /// Full campaign result.
@@ -82,6 +88,8 @@ struct FaultSender {
     window: u32,
     posted: u32,
     completed: u32,
+    /// Post timestamp of message `i` (match info `i`), for SLO latency.
+    post_ns: Vec<u64>,
 }
 
 impl FaultSender {
@@ -93,6 +101,7 @@ impl FaultSender {
                 u64::from(self.posted),
                 u64::from(self.posted),
             );
+            self.post_ns.push(ctx.now().as_nanos());
             self.posted += 1;
         }
     }
@@ -121,6 +130,9 @@ struct FaultReceiver {
     got: u32,
     first_ns: u64,
     last_ns: u64,
+    /// Completion timestamp of message `i`, indexed by the sender's
+    /// match info (== posted index), for SLO latency.
+    recv_ns: Vec<u64>,
 }
 
 impl Actor for FaultReceiver {
@@ -135,12 +147,16 @@ impl Actor for FaultReceiver {
         }
     }
 
-    fn on_recv_complete(&mut self, ctx: &mut ActorCtx, _c: RecvCompletion) {
+    fn on_recv_complete(&mut self, ctx: &mut ActorCtx, c: RecvCompletion) {
         if self.got == 0 {
             self.first_ns = ctx.now().as_nanos();
         }
         self.got += 1;
         self.last_ns = ctx.now().as_nanos();
+        let idx = c.match_info as usize;
+        if idx < self.recv_ns.len() {
+            self.recv_ns[idx] = ctx.now().as_nanos();
+        }
         if self.posted < self.expect {
             ctx.post_recv(0, 0, u64::from(self.posted));
             self.posted += 1;
@@ -175,6 +191,8 @@ struct Job {
     label: &'static str,
     messages: u32,
     seed: u64,
+    /// Collect per-message latency percentiles into [`FaultCell::slo`].
+    slo: bool,
 }
 
 fn run_cell(job: &Job) -> FaultCell {
@@ -203,6 +221,7 @@ fn run_cell(job: &Job) -> FaultCell {
             window: 16,
             posted: 0,
             completed: 0,
+            post_ns: Vec::new(),
         }),
     );
     cluster.add_actor(
@@ -214,6 +233,7 @@ fn run_cell(job: &Job) -> FaultCell {
             got: 0,
             first_ns: 0,
             last_ns: 0,
+            recv_ns: vec![0; job.messages as usize],
         }),
     );
     let stop = cluster.run(Time::from_secs(300));
@@ -240,6 +260,16 @@ fn run_cell(job: &Job) -> FaultCell {
     let recv = cluster.actor::<FaultReceiver>(1, 0).expect("receiver");
     assert_eq!(recv.got, job.messages, "sanitizer missed a lost delivery?");
     let span_ns = recv.last_ns.saturating_sub(recv.first_ns).max(1);
+    let slo = if job.slo {
+        let sender = cluster.actor::<FaultSender>(0, 0).expect("sender");
+        let mut h = Histogram::new();
+        for (i, &done) in recv.recv_ns.iter().enumerate() {
+            h.record(done.saturating_sub(sender.post_ns[i]));
+        }
+        SloSummary::from_histogram(&h)
+    } else {
+        None
+    };
     let m = cluster.metrics();
     FaultCell {
         scenario: job.scenario.to_string(),
@@ -256,13 +286,17 @@ fn run_cell(job: &Job) -> FaultCell {
         ring_drops: m.total_ring_drops(),
         frames_dropped: m.frames_dropped,
         sanitizer_violations: violations.len() as u64,
+        slo,
     }
 }
 
 /// Run the campaign. `quick` shrinks per-cell message counts for CI smoke
 /// runs; the swept matrix (4 loss rates × 5 strategies × 3 sizes, plus 5
-/// ring-pressure cells) is identical in both modes.
-pub fn run(quick: bool) -> FaultsResult {
+/// ring-pressure cells) is identical in both modes. `slo` additionally
+/// records per-message post-to-completion latency percentiles into each
+/// cell (pure observation: timestamps are harvested from actor state the
+/// run already tracks, so the simulation itself is unchanged).
+pub fn run(quick: bool, slo: bool) -> FaultsResult {
     let mut jobs = Vec::new();
     for &msg_len in &SIZE_CLASSES {
         for (li, &loss) in LOSS_RATES.iter().enumerate() {
@@ -278,6 +312,7 @@ pub fn run(quick: bool) -> FaultsResult {
                     // Deterministic per-cell seed: same seed ⇒ same frames
                     // lost ⇒ byte-identical report across processes.
                     seed: 0xFA017 + (msg_len as u64) * 1_000 + (li as u64) * 10 + si as u64,
+                    slo,
                 });
             }
         }
@@ -292,6 +327,7 @@ pub fn run(quick: bool) -> FaultsResult {
             label,
             messages: messages_for(32 << 10, quick) / 2,
             seed: 0x000F_A017_0000 + si as u64,
+            slo,
         });
     }
     let mut cells = parallel_map(jobs, |job| (run_cell(&job), job));
@@ -319,19 +355,25 @@ pub fn run(quick: bool) -> FaultsResult {
 }
 
 /// Render the loss sweep (completion slowdown vs zero loss) plus recovery
-/// counters, one block per size class.
+/// counters, one block per size class. Cells carrying an [`SloSummary`]
+/// (`--slo` runs) gain p50/p99/p999 message-latency columns.
 pub fn table(result: &FaultsResult) -> Table {
-    let mut t = Table::new(vec![
+    let slo = result.cells.iter().any(|c| c.slo.is_some());
+    let mut headers = vec![
         "scenario", "size", "loss", "strategy", "msgs/s", "slowdown", "retx", "rereq", "ringdrop",
         "lost",
-    ]);
+    ];
+    if slo {
+        headers.extend(["p50_us", "p99_us", "p999_us"]);
+    }
+    let mut t = Table::new(headers);
     for c in &result.cells {
         let label = match c.msg_len {
             0 => "0 B".to_string(),
             l if l >= 1 << 20 => format!("{} MiB", l >> 20),
             l => format!("{} KiB", l >> 10),
         };
-        t.row(vec![
+        let mut row = vec![
             c.scenario.clone(),
             label,
             format!("{:.1}%", c.loss * 100.0),
@@ -342,7 +384,18 @@ pub fn table(result: &FaultsResult) -> Table {
             c.pull_rerequests.to_string(),
             c.ring_drops.to_string(),
             c.frames_dropped.to_string(),
-        ]);
+        ];
+        if slo {
+            match &c.slo {
+                Some(s) => row.extend([
+                    format!("{:.1}", s.p50_ns as f64 / 1e3),
+                    format!("{:.1}", s.p99_ns as f64 / 1e3),
+                    format!("{:.1}", s.p999_ns as f64 / 1e3),
+                ]),
+                None => row.extend(["-".into(), "-".into(), "-".into()]),
+            }
+        }
+        t.row(row);
     }
     t
 }
@@ -365,10 +418,23 @@ mod tests {
             label: "default",
             messages: 40,
             seed: 42,
+            slo: true,
         });
         assert_eq!(cell.sanitizer_violations, 0);
         assert!(cell.frames_dropped > 0, "2% loss on 40×4 KiB must drop");
         assert!(cell.eager_retransmits > 0, "drops must force retransmits");
+        let slo = cell.slo.expect("slo requested");
+        assert_eq!(slo.count, 40);
+        assert!(slo.p50_ns > 0 && slo.p50_ns <= slo.p99_ns && slo.p99_ns <= slo.p999_ns);
+        // The JSON shape without --slo must match the pre-SLO report
+        // exactly: the optional field is omitted, not null.
+        let mut plain = cell.clone();
+        plain.slo = None;
+        let rendered = plain.to_json().render();
+        assert!(
+            !rendered.contains("slo"),
+            "default cell JSON gained a field"
+        );
     }
 
     /// Ring-pressure scenario actually overflows the ring.
@@ -383,26 +449,48 @@ mod tests {
             label: "default",
             messages: 20,
             seed: 7,
+            slo: false,
         });
         assert_eq!(cell.sanitizer_violations, 0);
         assert!(cell.ring_drops > 0, "16-slot ring + slow host must drop");
+        assert!(cell.slo.is_none(), "slo not requested");
     }
 }
 
-omx_sim::impl_to_json!(FaultCell {
-    scenario,
-    msg_len,
-    loss,
-    strategy,
-    messages,
-    completion_ns,
-    msgs_per_sec,
-    goodput_mbps,
-    recovery_ratio,
-    eager_retransmits,
-    pull_rerequests,
-    ring_drops,
-    frames_dropped,
-    sanitizer_violations,
-});
+// Hand-written (not `impl_to_json!`) so the optional `slo` field is omitted
+// entirely when absent: default `omx-bench faults` output stays
+// byte-identical to the pre-SLO golden reports.
+impl ToJson for FaultCell {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("scenario".to_string(), self.scenario.to_json()),
+            ("msg_len".to_string(), self.msg_len.to_json()),
+            ("loss".to_string(), self.loss.to_json()),
+            ("strategy".to_string(), self.strategy.to_json()),
+            ("messages".to_string(), self.messages.to_json()),
+            ("completion_ns".to_string(), self.completion_ns.to_json()),
+            ("msgs_per_sec".to_string(), self.msgs_per_sec.to_json()),
+            ("goodput_mbps".to_string(), self.goodput_mbps.to_json()),
+            ("recovery_ratio".to_string(), self.recovery_ratio.to_json()),
+            (
+                "eager_retransmits".to_string(),
+                self.eager_retransmits.to_json(),
+            ),
+            (
+                "pull_rerequests".to_string(),
+                self.pull_rerequests.to_json(),
+            ),
+            ("ring_drops".to_string(), self.ring_drops.to_json()),
+            ("frames_dropped".to_string(), self.frames_dropped.to_json()),
+            (
+                "sanitizer_violations".to_string(),
+                self.sanitizer_violations.to_json(),
+            ),
+        ];
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".to_string(), slo.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
 omx_sim::impl_to_json!(FaultsResult { cells });

@@ -20,6 +20,7 @@ use super::{all_strategies, parallel_map};
 use crate::report::Table;
 use omx_core::prelude::*;
 use omx_mpi::{MpiWorld, Op, WorldSpec};
+use omx_sim::json::{Json, ToJson};
 
 /// Node counts swept (quick mode stops at 16).
 pub const NODE_COUNTS: [usize; 5] = [4, 8, 16, 32, 64];
@@ -68,6 +69,11 @@ pub struct ScaleCell {
     /// Sanitizer violations (always 0 in a successful run; the cell
     /// panics before rendering otherwise).
     pub sanitizer_violations: u64,
+    /// Per-rank collective completion-latency percentiles (one sample per
+    /// rank per iteration), present only when the campaign ran with
+    /// `--slo`; the field is omitted from the JSON otherwise so default
+    /// reports — and the pinned golden cell — stay byte-identical.
+    pub slo: Option<SloSummary>,
 }
 
 /// Full campaign result.
@@ -107,6 +113,8 @@ struct Job {
     label: &'static str,
     iterations: u32,
     seed: u64,
+    /// Summarize per-rank collective latency into [`ScaleCell::slo`].
+    slo: bool,
 }
 
 fn run_cell(job: &Job) -> ScaleCell {
@@ -141,6 +149,13 @@ fn run_cell(job: &Job) -> ScaleCell {
         switch_occupancy_peak: m.switch_occupancy_peak,
         retransmits: m.total_retransmits(),
         sanitizer_violations: violations.len() as u64,
+        // Scale programs are pure collective sequences, so each rank's
+        // per-step latency IS one collective's completion time.
+        slo: if job.slo {
+            SloSummary::from_histogram(&report.op_latency)
+        } else {
+            None
+        },
     }
 }
 
@@ -158,13 +173,17 @@ pub fn golden_cell() -> ScaleCell {
         label: "default",
         iterations: 2,
         seed: 0x5CA1E + 2 * 10_000 + 16 * 10,
+        slo: false,
     })
 }
 
 /// Run the campaign. `quick` caps the sweep at 16 nodes and shrinks
 /// iteration counts for CI smoke runs; cell structure and seeds for the
-/// shared cells are identical in both modes.
-pub fn run(quick: bool) -> ScaleResult {
+/// shared cells are identical in both modes. `slo` additionally summarizes
+/// per-rank collective-completion latency into each cell (harvested from
+/// actor timestamps the run already tracks — the simulation itself is
+/// unchanged).
+pub fn run(quick: bool, slo: bool) -> ScaleResult {
     let node_counts: &[usize] = if quick {
         &NODE_COUNTS[..3]
     } else {
@@ -185,6 +204,7 @@ pub fn run(quick: bool) -> ScaleResult {
                     // Deterministic per-cell seed ⇒ byte-identical report
                     // across processes and machines.
                     seed: 0x5CA1E + (ci as u64) * 10_000 + (nodes as u64) * 10 + si as u64,
+                    slo,
                 });
             }
         }
@@ -194,9 +214,11 @@ pub fn run(quick: bool) -> ScaleResult {
 }
 
 /// Render completion time, per-node interrupt load, and the switch-egress
-/// pressure counters, one row per cell.
+/// pressure counters, one row per cell. Cells carrying an [`SloSummary`]
+/// (`--slo` runs) gain p50/p99/p999 collective-latency columns.
 pub fn table(result: &ScaleResult) -> Table {
-    let mut t = Table::new(vec![
+    let slo = result.cells.iter().any(|c| c.slo.is_some());
+    let mut headers = vec![
         "collective",
         "size",
         "nodes",
@@ -207,14 +229,18 @@ pub fn table(result: &ScaleResult) -> Table {
         "swdrop",
         "peak",
         "retx",
-    ]);
+    ];
+    if slo {
+        headers.extend(["p50_us", "p99_us", "p999_us"]);
+    }
+    let mut t = Table::new(headers);
     for c in &result.cells {
         let size = match c.bytes {
             0 => "-".to_string(),
             b if b >= 1 << 10 => format!("{} KiB", b >> 10),
             b => format!("{b} B"),
         };
-        t.row(vec![
+        let mut row = vec![
             c.collective.clone(),
             size,
             c.nodes.to_string(),
@@ -225,7 +251,18 @@ pub fn table(result: &ScaleResult) -> Table {
             c.switch_drops.to_string(),
             c.switch_occupancy_peak.to_string(),
             c.retransmits.to_string(),
-        ]);
+        ];
+        if slo {
+            match &c.slo {
+                Some(s) => row.extend([
+                    format!("{:.1}", s.p50_ns as f64 / 1e3),
+                    format!("{:.1}", s.p99_ns as f64 / 1e3),
+                    format!("{:.1}", s.p999_ns as f64 / 1e3),
+                ]),
+                None => row.extend(["-".into(), "-".into(), "-".into()]),
+            }
+        }
+        t.row(row);
     }
     t
 }
@@ -247,6 +284,7 @@ mod tests {
             label: "default",
             iterations: 2,
             seed: 0x5CA1E,
+            slo: true,
         });
         assert_eq!(cell.sanitizer_violations, 0);
         assert!(cell.completion_ns > 0);
@@ -254,6 +292,10 @@ mod tests {
             cell.switch_occupancy_peak >= 1,
             "a 16-node 64 KiB allreduce must queue at the switch"
         );
+        // 32 ranks × 2 iterations = 64 per-rank collective samples.
+        let slo = cell.slo.expect("slo requested");
+        assert_eq!(slo.count, 64);
+        assert!(slo.p50_ns > 0 && slo.p50_ns <= slo.p999_ns);
     }
 
     /// A non-power-of-two world drains clean through the campaign path.
@@ -268,25 +310,50 @@ mod tests {
             label: "disabled",
             iterations: 1,
             seed: 0x0DD,
+            slo: false,
         });
         assert_eq!(cell.sanitizer_violations, 0);
         assert_eq!(cell.nodes, 6);
+        assert!(cell.slo.is_none(), "slo not requested");
     }
 }
 
-omx_sim::impl_to_json!(ScaleCell {
-    collective,
-    bytes,
-    nodes,
-    ranks,
-    strategy,
-    iterations,
-    completion_ns,
-    total_interrupts,
-    interrupts_per_node,
-    switch_drops,
-    switch_occupancy_peak,
-    retransmits,
-    sanitizer_violations,
-});
+// Hand-written (not `impl_to_json!`) so the optional `slo` field is omitted
+// entirely when absent: default `omx-bench scale` output — and the pinned
+// golden cell — stay byte-identical to the pre-SLO reports.
+impl ToJson for ScaleCell {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("collective".to_string(), self.collective.to_json()),
+            ("bytes".to_string(), self.bytes.to_json()),
+            ("nodes".to_string(), self.nodes.to_json()),
+            ("ranks".to_string(), self.ranks.to_json()),
+            ("strategy".to_string(), self.strategy.to_json()),
+            ("iterations".to_string(), self.iterations.to_json()),
+            ("completion_ns".to_string(), self.completion_ns.to_json()),
+            (
+                "total_interrupts".to_string(),
+                self.total_interrupts.to_json(),
+            ),
+            (
+                "interrupts_per_node".to_string(),
+                self.interrupts_per_node.to_json(),
+            ),
+            ("switch_drops".to_string(), self.switch_drops.to_json()),
+            (
+                "switch_occupancy_peak".to_string(),
+                self.switch_occupancy_peak.to_json(),
+            ),
+            ("retransmits".to_string(), self.retransmits.to_json()),
+            (
+                "sanitizer_violations".to_string(),
+                self.sanitizer_violations.to_json(),
+            ),
+        ];
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".to_string(), slo.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
 omx_sim::impl_to_json!(ScaleResult { cells });

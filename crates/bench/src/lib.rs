@@ -14,12 +14,14 @@
 //! | [`experiments::table3`] | Table III — packet mis-ordering vs Stream coalescing |
 //! | [`experiments::nas`] | Tables IV & V — NAS times and interrupt counts |
 //! | [`experiments::adaptive`] | §VI — adaptive coalescing comparison |
+//! | [`timeline`] | windowed telemetry timelines (beyond paper; DESIGN §10) |
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod perf;
 pub mod report;
+pub mod timeline;
 pub mod timing;
 pub mod traced;
 

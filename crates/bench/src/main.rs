@@ -1,8 +1,9 @@
 //! Experiment CLI — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! omx-bench <experiment> [--quick] [--trace[=FILE]]
+//! omx-bench <experiment> [--quick] [--slo] [--trace[=FILE]]
 //! omx-bench trace <experiment> [--quick]
+//! omx-bench timeline <experiment> [--quick]
 //!
 //! experiments:
 //!   fig4               message rate vs coalescing delay (Fig. 4)
@@ -33,6 +34,15 @@
 //! then prints a per-phase latency attribution (supported: fig5, fig6,
 //! pingpong, table2). The global `--trace[=FILE]` flag does the same after
 //! a normal experiment run; `FILE` overrides the Chrome export path.
+//!
+//! `timeline <experiment>` re-runs a campaign's headline cell with the
+//! windowed telemetry subsystem enabled and writes the 100 µs counter
+//! timeline (JSONL + Perfetto counter tracks) under `results/`
+//! (supported: scale; `--quick` shrinks the world for CI smoke runs).
+//!
+//! `--slo` adds p50/p99/p999 message-latency summaries to the `faults`
+//! and `scale` campaign cells (table columns and a `slo` JSON field;
+//! default output is byte-identical to runs without the flag).
 //!
 //! `--quick` shrinks repetition counts (useful for smoke tests). Results are
 //! printed and written as JSON under `results/`.
@@ -93,12 +103,17 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "trace",
         "trace capture: omx-bench trace <experiment> [--quick]",
     ),
+    (
+        "timeline",
+        "windowed telemetry: omx-bench timeline <experiment> [--quick]",
+    ),
     ("all", "every experiment above (except perf)"),
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let slo = args.iter().any(|a| a == "--slo");
     // Global --trace[=FILE] flag: capture a trace after the experiment.
     let trace_flag: Option<Option<String>> = args.iter().find_map(|a| {
         if a == "--trace" {
@@ -128,6 +143,15 @@ fn main() {
         return;
     }
 
+    if which == "timeline" {
+        let experiment = if filter.is_empty() { "scale" } else { &filter };
+        if let Err(e) = omx_bench::timeline::run(experiment, quick) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
     let t0 = std::time::Instant::now();
     match which {
         "fig4" => run_fig4(quick),
@@ -139,8 +163,8 @@ fn main() {
         "table3" => run_table3(quick),
         "table4" => run_nas(&filter),
         "table5" => run_nas("is."),
-        "faults" => run_faults(quick),
-        "scale" => run_scale(quick),
+        "faults" => run_faults(quick, slo),
+        "scale" => run_scale(quick, slo),
         "adaptive" => run_adaptive(quick),
         "coexistence" => run_coexistence(),
         "multiqueue" => run_multiqueue(),
@@ -160,8 +184,8 @@ fn main() {
             run_multiqueue();
             run_jumbo(quick);
             run_sensitivity(quick);
-            run_faults(quick);
-            run_scale(quick);
+            run_faults(quick, slo);
+            run_scale(quick, slo);
             run_nas(if quick { "is." } else { "" });
         }
         other => {
@@ -171,8 +195,12 @@ fn main() {
     }
     if let Some(out) = &trace_flag {
         if omx_bench::traced::supported().contains(&which) {
+            // A failed trace export (e.g. --trace=FILE pointing at an
+            // unwritable path) fails the run: silently missing artifacts
+            // are indistinguishable from successful ones.
             if let Err(e) = omx_bench::traced::run(which, quick, out.as_deref()) {
                 eprintln!("{e}");
+                std::process::exit(1);
             }
         } else {
             eprintln!(
@@ -366,18 +394,16 @@ fn run_perf(smoke: bool) {
         let regressed = omx_bench::perf::regressions(&report, 2.0);
         if !regressed.is_empty() {
             for (id, mean, baseline) in &regressed {
-                eprintln!(
-                    "perf regression: {id} mean {mean} ns > 2x baseline {baseline} ns"
-                );
+                eprintln!("perf regression: {id} mean {mean} ns > 2x baseline {baseline} ns");
             }
             std::process::exit(3);
         }
     }
 }
 
-fn run_scale(quick: bool) {
+fn run_scale(quick: bool, slo: bool) {
     println!("== Scale-out collectives: nodes x strategy, bounded switch buffers ==");
-    let result = scale::run(quick);
+    let result = scale::run(quick, slo);
     println!("{}", scale::table(&result).render());
     println!(
         "{} cells, {} switch drops, {} sanitizer violations",
@@ -399,9 +425,9 @@ fn run_adaptive(quick: bool) {
     persist("adaptive JSON", write_json("adaptive", &result));
 }
 
-fn run_faults(quick: bool) {
+fn run_faults(quick: bool, slo: bool) {
     println!("== Fault injection: loss × strategy × size, ring overflow ==");
-    let result = faults::run(quick);
+    let result = faults::run(quick, slo);
     println!("{}", faults::table(&result).render());
     println!(
         "{} cells, {} sanitizer violations",

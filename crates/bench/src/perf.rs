@@ -56,7 +56,10 @@ use omx_sim::{Engine, EventQueue, Model, Scheduler, Time};
 /// (`event_queue/*`, `engine/*`: the pre-PR-2 `BinaryHeap` + tombstone-set
 /// queue; `e2e/*`: the pre-PR-5 map-based protocol state and `Box<dyn
 /// Coalescer>` NIC dispatch). New workloads without a pre-optimisation
-/// equivalent carry no baseline.
+/// equivalent carry no baseline. `e2e/scale_alltoall_16n_telemetry` is the
+/// exception: its baseline is the cost measured when the telemetry
+/// subsystem landed, so the gate catches windowed sampling turning from
+/// observation into load.
 const BASELINE_MEAN_NS: &[(&str, u64)] = &[
     ("event_queue/push_pop_10k_fifo", 1_654_000),
     ("event_queue/push_cancel_pop_10k", 1_988_000),
@@ -64,6 +67,7 @@ const BASELINE_MEAN_NS: &[(&str, u64)] = &[
     ("e2e/pingpong_small_50k", 884_195_000),
     ("e2e/table1_medium_cell", 10_859_000),
     ("e2e/scale_alltoall_16n", 16_967_000),
+    ("e2e/scale_alltoall_16n_telemetry", 10_263_000),
 ];
 
 struct Chain {
@@ -171,6 +175,24 @@ fn e2e_scale_alltoall_16n() -> u64 {
     report.metrics.frames_carried
 }
 
+/// The same 16-node alltoall with windowed telemetry enabled (100 µs
+/// windows, the `omx-bench timeline` configuration): pins the sampling
+/// tick + snapshot overhead on top of `e2e/scale_alltoall_16n`.
+fn e2e_scale_alltoall_16n_telemetry() -> u64 {
+    let mut cfg = ClusterConfig::default();
+    cfg.nic.strategy = CoalescingStrategy::Timeout { delay_us: 75 };
+    cfg.fabric.switch_buffer_frames = 32;
+    cfg.seed = 0xE2E;
+    let spec = WorldSpec {
+        ranks: 32,
+        ranks_per_node: 2,
+    };
+    let mut world = MpiWorld::new(spec, cfg);
+    world.enable_telemetry(TelemetryConfig::default());
+    let (report, _sanitizer) = world.run_drained(|_| vec![Op::Alltoall { bytes: 16 << 10 }]);
+    report.metrics.frames_carried
+}
+
 fn entry_with_frames(id: &str, stats: BenchStats, frames: Option<u64>) -> Json {
     let baseline = BASELINE_MEAN_NS
         .iter()
@@ -239,6 +261,12 @@ pub fn run(smoke: bool) -> Json {
         entry_e2e("e2e/pingpong_small_50k", wf, nf, e2e_pingpong_small_50k),
         entry_e2e("e2e/table1_medium_cell", wf, nf, e2e_table1_medium_cell),
         entry_e2e("e2e/scale_alltoall_16n", wf, nf, e2e_scale_alltoall_16n),
+        entry_e2e(
+            "e2e/scale_alltoall_16n_telemetry",
+            wf,
+            nf,
+            e2e_scale_alltoall_16n_telemetry,
+        ),
     ];
     Json::obj(vec![
         ("schema", Json::Str("omx-bench-perf/1".into())),
@@ -265,8 +293,7 @@ pub fn regressions(report: &Json, factor: f64) -> Vec<(String, u64, u64)> {
             let id = b.get("id")?.as_str()?;
             let mean = b.get("mean_ns")?.as_u64()?;
             let baseline = b.get("baseline_mean_ns")?.as_u64()?;
-            (mean as f64 > baseline as f64 * factor)
-                .then(|| (id.to_string(), mean, baseline))
+            (mean as f64 > baseline as f64 * factor).then(|| (id.to_string(), mean, baseline))
         })
         .collect()
 }
@@ -310,7 +337,7 @@ mod tests {
             Some("omx-bench-perf/1")
         );
         let benches = report.get("benches").and_then(|b| b.as_arr()).unwrap();
-        assert_eq!(benches.len(), 7);
+        assert_eq!(benches.len(), 8);
         let with_baseline = benches
             .iter()
             .filter(|b| b.get("baseline_mean_ns").and_then(|v| v.as_u64()).is_some())

@@ -54,6 +54,15 @@
 //!   bounded switch egress buffers (see
 //!   [`crate::experiments::scale`]).
 //!
+//! Under `--slo`, `faults.json` and `scale.json` cells additionally carry
+//! `slo: {count, mean_ns, p50_ns, p99_ns, p999_ns}` (message / collective
+//! completion latency); the field is omitted entirely without the flag, so
+//! default reports are byte-identical to pre-SLO releases.
+//!
+//! `timeline_<exp>_<N>n.{jsonl,chrome.json}` (written by `omx-bench
+//! timeline`) are the windowed telemetry exports; their schema is
+//! documented in [`crate::timeline`] and DESIGN §10.
+//!
 //! `BENCH_sim.json` (repo root, written by `omx-bench perf`) is the
 //! substrate micro-benchmark baseline; its schema is documented in
 //! [`crate::perf`].

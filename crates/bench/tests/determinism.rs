@@ -64,7 +64,7 @@ fn scale_cell_is_byte_identical_to_golden() {
 /// `results/scale.json` artifact.
 #[test]
 fn scale_quick_report_is_byte_identical_across_runs() {
-    let a = scale::run(true).to_json().render_pretty();
-    let b = scale::run(true).to_json().render_pretty();
+    let a = scale::run(true, false).to_json().render_pretty();
+    let b = scale::run(true, false).to_json().render_pretty();
     assert!(a == b, "scale quick report differs between two runs");
 }

@@ -20,7 +20,10 @@
 //!   on a switched fabric, driven as one `omx_sim::Model`,
 //! * [`workloads`] — built-in microbenchmark actors (ping-pong, streams,
 //!   the interrupt-overhead test) mirroring the paper's §IV benchmarks,
-//! * [`metrics`] — per-run measurement harvest.
+//! * [`metrics`] — per-run measurement harvest,
+//! * [`telemetry`] — windowed time-series samplers (engine-tick driven)
+//!   and p50/p99/p999 SLO summaries over the counters the layers above
+//!   expose.
 //!
 //! The quickest entry point is [`ClusterBuilder`]:
 //!
@@ -50,6 +53,7 @@ pub mod metrics;
 pub mod proto;
 pub mod sanitizer;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 pub mod wire;
 pub mod workloads;
@@ -65,6 +69,7 @@ pub mod prelude {
     pub use crate::metrics::ClusterMetrics;
     pub use crate::sanitizer::SanitizerReport;
     pub use crate::system::{Cluster, ClusterBuilder};
+    pub use crate::telemetry::{SloSummary, Telemetry, TelemetryConfig};
     pub use crate::trace::{TraceEvent, TraceKind, Tracer};
     pub use crate::wire::{EndpointAddr, NodeId};
     pub use crate::workloads::pingpong::{PingPongReport, PingPongSpec};

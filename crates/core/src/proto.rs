@@ -368,6 +368,14 @@ impl NodeDriver {
         &self.counters
     }
 
+    /// Packets currently parked in reorder buffers, summed over all
+    /// connections: sequence numbers received above the cumulative-ack
+    /// point, waiting for the gap below them to fill. The telemetry
+    /// sampler reads this as the per-node misordering-pressure gauge.
+    pub fn reorder_depth(&self) -> u64 {
+        self.conns.iter().map(|c| c.recv_above.len() as u64).sum()
+    }
+
     /// Config in force.
     pub fn config(&self) -> &ProtoConfig {
         &self.cfg

@@ -27,6 +27,7 @@
 use crate::metrics::{ClusterMetrics, NodeMetrics};
 use crate::proto::{DriverAction, NodeDriver, ProtoConfig};
 use crate::sanitizer::{Sanitizer, SanitizerReport};
+use crate::telemetry::{NodeTap, PortTap, Telemetry, TelemetryConfig};
 use crate::trace::{TraceData, TraceKind, Tracer};
 use crate::wire::{EndpointAddr, MsgId, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
 use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
@@ -462,11 +463,59 @@ struct SystemModel {
     batch_pool: Vec<Vec<Packet>>,
     /// Optional packet-level event trace.
     tracer: Option<Tracer>,
+    /// Optional windowed telemetry sampler (driven by the engine tick).
+    telemetry: Option<Telemetry>,
+    /// Per-node cumulative application-payload bytes delivered — the
+    /// goodput tap. Tracked here (not in `DriverCounters`) so the
+    /// serialized counter shape stays stable.
+    delivered_bytes: Vec<u64>,
     /// Invariant recorder (posted / delivered / completed accounting).
     sanitizer: Sanitizer,
 }
 
 impl SystemModel {
+    /// Snapshot every node and switch-port tap into the telemetry window
+    /// ending at `end`. Called from the engine tick at aligned window
+    /// boundaries and from the drain path to close the partial final
+    /// window; `Telemetry::begin_window` rejects non-advancing boundaries,
+    /// so the drain-path call is idempotent. Pure reads of layer state —
+    /// nothing here touches the event queue.
+    fn sample_telemetry(&mut self, end: Time) {
+        let Some(tel) = self.telemetry.as_mut() else {
+            return;
+        };
+        if !tel.begin_window(end) {
+            return;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let nc = n.nic.counters();
+            let dc = n.driver.counters();
+            tel.sample_node(
+                i,
+                NodeTap {
+                    interrupts: nc.interrupts.get(),
+                    hold_sum_ns: nc.coalesce_hold_ns.sum(),
+                    hold_count: nc.coalesce_hold_ns.count(),
+                    rx_ring: n.nic.rx_ring_occupancy() as u64,
+                    pending_dma: n.in_dma.len() as u64,
+                    retransmits: dc.eager_retransmits.get(),
+                    rerequests: dc.pull_rerequests.get(),
+                    reorder_depth: n.driver.reorder_depth(),
+                    delivered_bytes: self.delivered_bytes[i],
+                },
+            );
+        }
+        for p in 0..self.fabric.ports() {
+            tel.sample_port(
+                p,
+                PortTap {
+                    queue_len: self.fabric.switch_queue_len_at(PortId(p), end) as u64,
+                    drops: self.fabric.switch_drops_at(PortId(p)),
+                },
+            );
+        }
+    }
+
     /// Record a trace event. The payload is built lazily: when tracing is
     /// disabled the closure never runs, so tracing costs one branch.
     fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
@@ -968,6 +1017,7 @@ impl Model for SystemModel {
             Ev::AppRecv { node, ep, c } => {
                 self.sanitizer
                     .on_delivered(c.src.node.0, node, c.msg.0, c.len);
+                self.delivered_bytes[node as usize] += u64::from(c.len);
                 self.trace(now, node, TraceKind::AppDelivery, || TraceData::Recv {
                     ep,
                     src: c.src.node.0,
@@ -986,6 +1036,10 @@ impl Model for SystemModel {
                 self.with_actor(node, ep, now, sched, |a, ctx| a.on_timer(ctx, token));
             }
         }
+    }
+
+    fn tick(&mut self, now: Time) {
+        self.sample_telemetry(now);
     }
 }
 
@@ -1025,6 +1079,7 @@ impl Cluster {
                 coalesce_timer_tok: None,
             })
             .collect();
+        let model_nodes = cfg.nodes;
         let model = SystemModel {
             cfg,
             nodes,
@@ -1039,6 +1094,8 @@ impl Cluster {
             frame_scratch: Vec::new(),
             batch_pool: Vec::new(),
             tracer: None,
+            telemetry: None,
+            delivered_bytes: vec![0; model_nodes],
             sanitizer: Sanitizer::default(),
         };
         Cluster {
@@ -1061,6 +1118,30 @@ impl Cluster {
     /// The recorded trace, if tracing was enabled.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.engine.model().tracer.as_ref()
+    }
+
+    /// Enable windowed telemetry sampling (see [`crate::telemetry`]). The
+    /// engine fires a tick at every `cfg.window_ns` boundary of simulated
+    /// time; ticks cannot schedule events, so enabling telemetry never
+    /// changes event order, drain time, or simulation results.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let window_ns = cfg.window_ns;
+        let model = self.engine.model_mut();
+        let nodes = model.cfg.nodes;
+        // One egress port per node in this fabric.
+        model.telemetry = Some(Telemetry::new(cfg, nodes, nodes));
+        self.engine.set_tick_period(window_ns);
+    }
+
+    /// The collected telemetry, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.engine.model().telemetry.as_ref()
+    }
+
+    /// Detach and return the collected telemetry (e.g. before the cluster
+    /// is consumed by a harvest path), leaving telemetry disabled.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.engine.model_mut().telemetry.take()
     }
 
     /// Replace one node's NIC coalescing strategy with a custom
@@ -1113,6 +1194,17 @@ impl Cluster {
         let stop = self
             .engine
             .run_until(horizon, u64::MAX, |m: &SystemModel| m.stop);
+        // Ticks only fire while events flow, so the tail of the run — from
+        // the last aligned boundary to the final event — is still an open
+        // window. Close it at the stop point (idempotent; skipped when the
+        // horizon cut the run short, since the queue is still live then).
+        if matches!(
+            stop,
+            StopCondition::QueueEmpty | StopCondition::PredicateSatisfied
+        ) {
+            let now = self.engine.now();
+            self.engine.model_mut().sample_telemetry(now);
+        }
         // Quiescence means every queued event drained: any protocol state
         // still mid-flight is stranded forever, and any packet the NIC
         // still owes the host will never raise an interrupt. Both are
@@ -1185,16 +1277,23 @@ impl Cluster {
     }
 
     /// Harvest metrics from every layer.
+    ///
+    /// Time-weighted gauges (pending-DMA depth, switch egress queue depth)
+    /// are finalized at the harvest instant: their weight only accumulates
+    /// on `set` calls, so without folding in the tail a run that drains to
+    /// quiescence long after the last event would over-weight the final
+    /// busy period and report a too-high time-weighted mean.
     pub fn metrics(&self) -> ClusterMetrics {
         let m = self.engine.model();
+        let now = self.engine.now();
         ClusterMetrics {
-            sim_time_ns: self.engine.now().as_nanos(),
+            sim_time_ns: now.as_nanos(),
             frames_carried: m.fabric.frames_carried(),
             frames_dropped: m.fabric.frames_dropped(),
             switch_drops: m.fabric.switch_drops(),
             switch_occupancy_peak: m.fabric.switch_occupancy_peak(),
             switch_queue_depth: (0..m.cfg.nodes)
-                .map(|p| m.fabric.switch_queue_depth_at(PortId(p)).clone())
+                .map(|p| m.fabric.switch_queue_depth_at(PortId(p)).finalized(now))
                 .collect(),
             nodes: m
                 .nodes
@@ -1203,7 +1302,7 @@ impl Cluster {
                     nic: n.nic.counters().clone(),
                     host: n.host.counters().clone(),
                     driver: n.driver.counters().clone(),
-                    pending_dma: n.pending_dma.clone(),
+                    pending_dma: n.pending_dma.finalized(now),
                 })
                 .collect(),
         }

@@ -106,8 +106,9 @@ fn lossy_reordered_runs_match_map_based_golden() {
         std::fs::write(GOLDEN, &rendered).expect("write golden");
         return;
     }
-    let golden = std::fs::read_to_string(GOLDEN)
-        .expect("golden missing; bless with OMX_BLESS=1 cargo test -p omx-core --test proto_equivalence");
+    let golden = std::fs::read_to_string(GOLDEN).expect(
+        "golden missing; bless with OMX_BLESS=1 cargo test -p omx-core --test proto_equivalence",
+    );
     assert_eq!(
         rendered, golden,
         "metrics diverged from the map-based golden — the protocol refactor \

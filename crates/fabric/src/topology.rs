@@ -259,6 +259,20 @@ impl EthernetFabric {
     pub fn switch_queue_depth_at(&self, port: PortId) -> &TimeWeighted {
         &self.switch_egress[port.0].depth
     }
+
+    /// Frames still buffered at the egress toward `port` at `now`.
+    ///
+    /// Read-only variant of the purge done on the admission path: frames
+    /// whose departure time has passed are no longer occupying the buffer,
+    /// but the queue itself is not mutated, so sampling this from a
+    /// telemetry tick cannot perturb the simulation.
+    pub fn switch_queue_len_at(&self, port: PortId, now: Time) -> usize {
+        self.switch_egress[port.0]
+            .departures
+            .iter()
+            .filter(|&&d| d > now)
+            .count()
+    }
 }
 
 #[cfg(test)]

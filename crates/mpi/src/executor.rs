@@ -65,6 +65,10 @@ pub struct RankActor {
     compute_wall_ns: u64,
     /// CPU time stolen by interrupts during compute phases.
     stolen_ns: u64,
+    /// When the program step currently executing started.
+    op_start: Time,
+    /// Wall latency of each completed program step, in program order.
+    op_latency_ns: Vec<u64>,
 }
 
 impl RankActor {
@@ -95,6 +99,8 @@ impl RankActor {
             stop_when_done: true,
             compute_wall_ns: 0,
             stolen_ns: 0,
+            op_start: Time::ZERO,
+            op_latency_ns: Vec::new(),
         }
     }
 
@@ -119,6 +125,14 @@ impl RankActor {
     /// Nanoseconds interrupts stole from this rank's compute phases.
     pub fn stolen_ns(&self) -> u64 {
         self.stolen_ns
+    }
+
+    /// Wall latency of each completed program step, in program order —
+    /// collectives measure round-trip completion, compute steps measure
+    /// their (possibly interrupt-stretched) wall time. The SLO summaries
+    /// in the campaign reports aggregate these across ranks.
+    pub fn op_latency_ns(&self) -> &[u64] {
+        &self.op_latency_ns
     }
 
     fn post_exchange(
@@ -154,7 +168,7 @@ impl RankActor {
             match op {
                 Op::Compute(ns) => {
                     if ns == 0 {
-                        self.step_done();
+                        self.step_done(ctx.now());
                         continue;
                     }
                     self.compute_start = ctx.now();
@@ -231,7 +245,7 @@ impl RankActor {
             match action {
                 None => {
                     self.coll_seq += 1;
-                    self.step_done();
+                    self.step_done(ctx.now());
                     return false;
                 }
                 Some(RoundAction::Idle) => {
@@ -266,9 +280,12 @@ impl RankActor {
         }
     }
 
-    fn step_done(&mut self) {
+    fn step_done(&mut self, now: Time) {
         // A collective advances round-by-round; point-to-point and compute
         // advance the program counter directly.
+        self.op_latency_ns
+            .push(now.saturating_since(self.op_start).as_nanos().max(0) as u64);
+        self.op_start = now;
         self.pc += 1;
         self.round = 0;
     }
@@ -293,7 +310,7 @@ impl RankActor {
             }
             self.advance(ctx);
         } else {
-            self.step_done();
+            self.step_done(ctx.now());
             self.advance(ctx);
         }
     }
@@ -363,7 +380,7 @@ impl Actor for RankActor {
         self.compute_wall_ns += elapsed.as_nanos().max(0) as u64;
         self.stolen_ns += stolen;
         self.wait = Wait::None;
-        self.step_done();
+        self.step_done(ctx.now());
         self.advance(ctx);
     }
 

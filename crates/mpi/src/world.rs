@@ -4,7 +4,9 @@ use crate::executor::RankActor;
 use crate::ops::Op;
 use omx_core::metrics::ClusterMetrics;
 use omx_core::system::{Cluster, ClusterConfig};
+use omx_core::telemetry::{Telemetry, TelemetryConfig};
 use omx_core::wire::EndpointAddr;
+use omx_sim::stats::Histogram;
 use omx_sim::{StopCondition, Time};
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
@@ -68,8 +70,13 @@ pub struct MpiRunReport {
     pub compute_wall_ns: u64,
     /// Total CPU time interrupts stole from compute phases.
     pub stolen_ns: u64,
+    /// Wall latency of every completed program step, merged across ranks
+    /// (source of the campaigns' p50/p99/p999 SLO summaries).
+    pub op_latency: Histogram,
     /// Cluster-wide metrics (interrupts, wakeups, retransmits, …).
     pub metrics: ClusterMetrics,
+    /// Windowed telemetry, when enabled via [`MpiWorld::enable_telemetry`].
+    pub telemetry: Option<Telemetry>,
 }
 
 /// A configured MPI job.
@@ -114,6 +121,13 @@ impl MpiWorld {
     /// The placement spec.
     pub fn spec(&self) -> WorldSpec {
         self.spec
+    }
+
+    /// Enable windowed telemetry on the underlying cluster; the collected
+    /// [`Telemetry`] comes back in [`MpiRunReport::telemetry`]. Sampling
+    /// runs off the engine tick and cannot change simulation results.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.cluster.enable_telemetry(cfg);
     }
 
     /// Run an SPMD job: `program(rank)` builds each rank's op list.
@@ -185,6 +199,7 @@ impl MpiWorld {
         let mut per_rank = Vec::with_capacity(self.spec.ranks);
         let mut compute_wall = 0;
         let mut stolen = 0;
+        let mut op_latency = Histogram::new();
         for rank in 0..self.spec.ranks {
             let actor = self
                 .cluster
@@ -193,13 +208,18 @@ impl MpiWorld {
             per_rank.push(actor.finished_at().expect("rank finished").as_nanos());
             compute_wall += actor.compute_wall_ns();
             stolen += actor.stolen_ns();
+            for &lat in actor.op_latency_ns() {
+                op_latency.record(lat);
+            }
         }
         let report = MpiRunReport {
             elapsed_ns: per_rank.iter().copied().max().unwrap_or(0),
             per_rank_finish_ns: per_rank,
             compute_wall_ns: compute_wall,
             stolen_ns: stolen,
+            op_latency,
             metrics: self.cluster.metrics(),
+            telemetry: self.cluster.take_telemetry(),
         };
         (report, sanitizer)
     }
@@ -353,6 +373,33 @@ mod tests {
         let b = run();
         assert_eq!(a.elapsed_ns, b.elapsed_ns);
         assert_eq!(a.metrics.total_interrupts(), b.metrics.total_interrupts());
+    }
+
+    #[test]
+    fn telemetry_records_windows_without_perturbing_results() {
+        let program = |_: usize| vec![Op::Alltoall { bytes: 4_000 }];
+        let (plain, _) = world(8, 2).run_drained(program);
+        let mut w = world(8, 2);
+        w.enable_telemetry(TelemetryConfig::default());
+        let (sampled, _) = w.run_drained(program);
+
+        // The tick is observation-only: identical job outcome.
+        assert_eq!(plain.elapsed_ns, sampled.elapsed_ns);
+        assert_eq!(
+            plain.metrics.total_interrupts(),
+            sampled.metrics.total_interrupts()
+        );
+        assert_eq!(plain.metrics.frames_carried, sampled.metrics.frames_carried);
+        assert!(plain.telemetry.is_none());
+
+        let tel = sampled.telemetry.expect("telemetry collected");
+        assert!(tel.windows_recorded() >= 1);
+        // Goodput windows over a node must sum to what was delivered there.
+        let node0_goodput: u64 = tel.node_windows(0).map(|w| w.goodput_bytes).sum();
+        assert!(node0_goodput > 0, "node 0 saw no goodput");
+        // Per-op latency histogram feeds the SLO summaries.
+        assert_eq!(sampled.op_latency.count(), 8); // one alltoall per rank
+        assert!(sampled.op_latency.p99().is_some());
     }
 
     #[test]

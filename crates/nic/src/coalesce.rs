@@ -646,12 +646,24 @@ impl ActiveCoalescer {
         ready_packets: u32,
     ) -> Decision {
         match self {
-            ActiveCoalescer::Disabled(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
-            ActiveCoalescer::Timeout(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
-            ActiveCoalescer::OpenMx(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
-            ActiveCoalescer::Stream(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
-            ActiveCoalescer::Adaptive(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
-            ActiveCoalescer::Custom(c) => c.on_dma_complete(now, marked, pending_dmas, ready_packets),
+            ActiveCoalescer::Disabled(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
+            ActiveCoalescer::Timeout(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
+            ActiveCoalescer::OpenMx(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
+            ActiveCoalescer::Stream(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
+            ActiveCoalescer::Adaptive(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
+            ActiveCoalescer::Custom(c) => {
+                c.on_dma_complete(now, marked, pending_dmas, ready_packets)
+            }
         }
     }
 

@@ -216,6 +216,13 @@ impl Nic {
             + self.pending_claims.iter().map(Vec::len).sum::<usize>()
     }
 
+    /// RX-ring slots currently occupied, as counted against
+    /// `rx_ring_slots` by the admission check in [`Nic::on_frame`]. This is
+    /// the instantaneous ring-pressure gauge the telemetry sampler reads.
+    pub fn rx_ring_occupancy(&self) -> usize {
+        self.pending_work()
+    }
+
     // -- event entry points -------------------------------------------------
 
     /// A frame arrived off the wire at `now`.

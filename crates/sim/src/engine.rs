@@ -20,6 +20,14 @@ pub trait Model {
     /// Handle one event at simulated time `now`. Follow-up events are
     /// scheduled through `sched`.
     fn handle(&mut self, now: Time, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Periodic observation hook, fired by the engine at tick-period
+    /// boundaries (see [`Engine::set_tick_period`]). Deliberately *not*
+    /// given a [`Scheduler`]: a tick can read and snapshot model state but
+    /// cannot schedule events, so enabling ticks can never keep the queue
+    /// alive, change the drain point, or perturb event dispatch order.
+    /// Default is a no-op.
+    fn tick(&mut self, _now: Time) {}
 }
 
 /// Interface handed to [`Model::handle`] for scheduling future events.
@@ -137,6 +145,11 @@ pub struct Engine<M: Model> {
     model: M,
     sched: Scheduler<M::Event>,
     events_processed: u64,
+    /// Tick period in nanoseconds; `None` disables [`Model::tick`] entirely
+    /// (one branch per dispatched event — zero cost in the common case).
+    tick_period_ns: Option<u64>,
+    /// Absolute time of the next pending tick boundary.
+    next_tick_ns: u64,
 }
 
 impl<M: Model> Engine<M> {
@@ -146,6 +159,8 @@ impl<M: Model> Engine<M> {
             model,
             sched: Scheduler::new(),
             events_processed: 0,
+            tick_period_ns: None,
+            next_tick_ns: 0,
         }
     }
 
@@ -172,6 +187,26 @@ impl<M: Model> Engine<M> {
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Enable periodic [`Model::tick`] callbacks every `period_ns` of
+    /// simulated time.
+    ///
+    /// Boundaries are absolute multiples of the period. The tick closing
+    /// window `[k·p, (k+1)·p)` fires at `(k+1)·p`, *before* any event
+    /// scheduled at exactly that instant, so a window never observes work
+    /// from its successor. Ticks only fire while events are still being
+    /// dispatched — they piggyback on event-time progress rather than
+    /// driving the clock — so an enabled tick never delays `QueueEmpty`.
+    ///
+    /// # Panics
+    /// Panics if `period_ns` is zero.
+    pub fn set_tick_period(&mut self, period_ns: u64) {
+        assert!(period_ns > 0, "tick period must be non-zero");
+        self.tick_period_ns = Some(period_ns);
+        // First boundary strictly after the current instant, aligned to the
+        // period grid.
+        self.next_tick_ns = (self.sched.now.as_nanos() / period_ns + 1) * period_ns;
     }
 
     /// Schedule an initial event before running.
@@ -211,6 +246,16 @@ impl<M: Model> Engine<M> {
                 // Leave the event queued; the caller may extend the horizon.
                 self.sched.now = horizon;
                 return StopCondition::HorizonReached;
+            }
+            if let Some(period) = self.tick_period_ns {
+                // Fire every tick boundary up to and including the next
+                // event's timestamp (tick-before-event on exact ties).
+                while self.next_tick_ns <= next.as_nanos() {
+                    let at = Time::from_nanos(self.next_tick_ns);
+                    self.sched.now = at;
+                    self.model.tick(at);
+                    self.next_tick_ns += period;
+                }
             }
             let (time, event) = self.sched.queue.pop().expect("peeked event vanished");
             debug_assert!(time >= self.sched.now, "time went backwards");
@@ -350,6 +395,135 @@ mod tests {
         assert_eq!(eng.now(), Time::from_nanos(500));
         // Re-priming behind the clock must trip the invariant.
         eng.prime(Time::from_nanos(10), ());
+    }
+
+    /// Records both event dispatches and tick callbacks in arrival order.
+    struct TickLogger {
+        period_ns: u64,
+        remaining: u32,
+        log: Vec<(&'static str, Time)>,
+    }
+
+    impl Model for TickLogger {
+        type Event = ();
+        fn handle(&mut self, now: Time, _ev: (), sched: &mut Scheduler<()>) {
+            self.log.push(("event", now));
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule_in(self.period_ns, ());
+            }
+        }
+        fn tick(&mut self, now: Time) {
+            self.log.push(("tick", now));
+        }
+    }
+
+    #[test]
+    fn ticks_fire_on_boundaries_between_events() {
+        let mut eng = Engine::new(TickLogger {
+            period_ns: 250,
+            remaining: 4,
+            log: Vec::new(),
+        });
+        eng.set_tick_period(100);
+        eng.prime(Time::from_nanos(30), ());
+        let stop = eng.run(Time::MAX, u64::MAX);
+        assert_eq!(stop, StopCondition::QueueEmpty);
+        // Events at 30, 280, 530, 780, 1030; ticks at every 100 ns boundary
+        // up to the last event. Ticks never count as events.
+        assert_eq!(eng.events_processed(), 5);
+        let ticks: Vec<u64> = eng
+            .model()
+            .log
+            .iter()
+            .filter(|(k, _)| *k == "tick")
+            .map(|(_, t)| t.as_nanos())
+            .collect();
+        assert_eq!(
+            ticks,
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        );
+        // Interleaving: tick at 100 precedes event at 280, etc.
+        let order: Vec<(&str, u64)> = eng
+            .model()
+            .log
+            .iter()
+            .map(|(k, t)| (*k, t.as_nanos()))
+            .collect();
+        assert_eq!(order[0], ("event", 30));
+        assert_eq!(order[1], ("tick", 100));
+        assert_eq!(order[2], ("tick", 200));
+        assert_eq!(order[3], ("event", 280));
+    }
+
+    #[test]
+    fn tick_fires_before_event_at_same_instant() {
+        let mut eng = Engine::new(TickLogger {
+            period_ns: 100,
+            remaining: 2,
+            log: Vec::new(),
+        });
+        eng.set_tick_period(100);
+        eng.prime(Time::from_nanos(100), ());
+        eng.run(Time::MAX, u64::MAX);
+        let order: Vec<(&str, u64)> = eng
+            .model()
+            .log
+            .iter()
+            .map(|(k, t)| (*k, t.as_nanos()))
+            .collect();
+        // At t=100 the window [0,100) closes before the event at 100 runs.
+        assert_eq!(order[0], ("tick", 100));
+        assert_eq!(order[1], ("event", 100));
+        assert_eq!(order[2], ("tick", 200));
+        assert_eq!(order[3], ("event", 200));
+    }
+
+    #[test]
+    fn ticks_do_not_keep_queue_alive_or_pass_last_event() {
+        let mut eng = Engine::new(TickLogger {
+            period_ns: 0,
+            remaining: 0,
+            log: Vec::new(),
+        });
+        eng.set_tick_period(50);
+        eng.prime(Time::from_nanos(120), ());
+        let stop = eng.run(Time::MAX, u64::MAX);
+        assert_eq!(stop, StopCondition::QueueEmpty);
+        // Boundaries at 50 and 100 fire (they precede the event at 120);
+        // nothing fires after the last event — ticks never extend the run.
+        let ticks: Vec<u64> = eng
+            .model()
+            .log
+            .iter()
+            .filter(|(k, _)| *k == "tick")
+            .map(|(_, t)| t.as_nanos())
+            .collect();
+        assert_eq!(ticks, vec![50, 100]);
+    }
+
+    #[test]
+    fn tick_disabled_by_default_matches_event_trace() {
+        let run = |tick: bool| {
+            let mut eng = Engine::new(TickLogger {
+                period_ns: 100,
+                remaining: 10,
+                log: Vec::new(),
+            });
+            if tick {
+                eng.set_tick_period(70);
+            }
+            eng.prime(Time::ZERO, ());
+            eng.run(Time::MAX, u64::MAX);
+            eng.model()
+                .log
+                .iter()
+                .filter(|(k, _)| *k == "event")
+                .map(|(_, t)| t.as_nanos())
+                .collect::<Vec<u64>>()
+        };
+        // Enabling ticks must not change the event schedule at all.
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

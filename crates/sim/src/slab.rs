@@ -78,7 +78,10 @@ impl<T> Slab<T> {
             SlabToken { slot, gen: e.gen }
         } else {
             let slot = u32::try_from(self.entries.len()).expect("slab capacity");
-            self.entries.push(Entry { gen: 0, val: Some(val) });
+            self.entries.push(Entry {
+                gen: 0,
+                val: Some(val),
+            });
             SlabToken { slot, gen: 0 }
         }
     }
@@ -104,7 +107,10 @@ impl<T> Slab<T> {
     /// Dereference. Panics if the token is stale (the value was removed).
     #[track_caller]
     pub fn get(&self, tok: SlabToken) -> &T {
-        self.check(tok).val.as_ref().expect("stale slab token: slot was freed")
+        self.check(tok)
+            .val
+            .as_ref()
+            .expect("stale slab token: slot was freed")
     }
 
     /// Mutable dereference. Panics if the token is stale.

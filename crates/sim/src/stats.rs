@@ -206,8 +206,8 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (`q` in `[0, 1]`) in nanoseconds.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    /// Index of the bucket holding the rank-`q` sample (`None` when empty).
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
             return None;
         }
@@ -216,15 +216,44 @@ impl Histogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen > target {
-                return Some(Self::bucket_value(idx));
+                return Some(idx);
             }
         }
-        Some(Self::bucket_value(NUM_BUCKETS - 1))
+        Some(NUM_BUCKETS - 1)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in nanoseconds.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bucket(q).map(Self::bucket_value)
     }
 
     /// Median shortcut.
     pub fn median(&self) -> Option<u64> {
         self.quantile(0.5)
+    }
+
+    /// p50 shortcut (alias for [`Histogram::median`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// p99 shortcut.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// p999 shortcut.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Sum of recorded values in nanoseconds.
+    ///
+    /// Exact (accumulated from the raw values, not reconstructed from bucket
+    /// midpoints), which makes `sum` deltas usable for windowed rate
+    /// sampling.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Merge another histogram into this one.
@@ -278,6 +307,21 @@ impl TimeWeighted {
     /// Largest value ever set.
     pub fn peak(&self) -> f64 {
         self.peak
+    }
+
+    /// Copy of this gauge with the tail up to `now` folded into the
+    /// weighted sum.
+    ///
+    /// A gauge only accumulates weight when [`TimeWeighted::set`] is called,
+    /// so a run that goes quiescent (e.g. drains to `QueueEmpty` long after
+    /// the last DMA completed) under-weights the final value unless the
+    /// harvest path finalizes it at drain time. The returned gauge has
+    /// `last_time == now` and an unchanged current value, so finalizing is
+    /// idempotent.
+    pub fn finalized(&self, now: Time) -> TimeWeighted {
+        let mut g = self.clone();
+        g.set(now, g.last_value);
+        g
     }
 
     /// Time-weighted mean up to `now`.
@@ -454,6 +498,63 @@ mod tests {
         assert!((h.mean() - 5_000.5).abs() < 1.0);
     }
 
+    /// Property test: for random inputs, every streamed quantile must land
+    /// within one log-bucket of the exact sorted-vector quantile. The
+    /// histogram only remembers bucket counts, so the strongest guarantee it
+    /// can make is bucket-level agreement — this pins that guarantee across
+    /// seeds, sizes, and heavy-tailed value ranges.
+    #[test]
+    fn histogram_quantiles_within_one_bucket_of_exact() {
+        use crate::rng::SimRng;
+
+        for seed in 0..20u64 {
+            let mut rng = SimRng::new(0x5747_5000 + seed);
+            let n = 1 + (rng.next_u64() % 5_000) as usize;
+            // Mix of scales: uniform small, uniform large, and log-uniform
+            // heavy tail, chosen per seed.
+            let values: Vec<u64> = (0..n)
+                .map(|_| match seed % 3 {
+                    0 => 1 + rng.next_u64() % 1_000,
+                    1 => 1 + rng.next_u64() % 100_000_000,
+                    _ => {
+                        let exp = rng.next_u64() % 10;
+                        1 + rng.next_u64() % 10u64.pow(exp as u32 + 1)
+                    }
+                })
+                .collect();
+
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let exact = sorted[((q * (n - 1) as f64) as usize).min(n - 1)];
+                let eb = Histogram::bucket_index(exact) as i64;
+                let ab = h.quantile_bucket(q).unwrap() as i64;
+                assert!(
+                    (eb - ab).abs() <= 1,
+                    "seed {seed} q={q}: histogram picked bucket {ab} but \
+                     exact quantile {exact} lives in bucket {eb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_shortcuts_and_sum() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+        assert!((h.sum() - 500_500.0).abs() < 1e-9);
+    }
+
     #[test]
     fn histogram_empty_and_merge() {
         let h = Histogram::new();
@@ -482,6 +583,25 @@ mod tests {
         assert!((g.mean_at(Time::from_nanos(400)) - 5.0).abs() < 1e-12);
         assert_eq!(g.peak(), 10.0);
         assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_finalized_weights_quiescent_tail() {
+        let mut g = TimeWeighted::new(Time::ZERO, 0.0);
+        g.set(Time::from_nanos(100), 10.0);
+        g.set(Time::from_nanos(200), 0.0); // last event: drops back to 0
+                                           // Run drains 800 ns later; without finalizing, the tail is invisible
+                                           // to consumers that read the serialized weighted_sum/total_time.
+        let f = g.finalized(Time::from_nanos(1_000));
+        assert!((f.mean_at(Time::from_nanos(1_000)) - 1.0).abs() < 1e-12);
+        assert_eq!(f.current(), 0.0);
+        // Idempotent: finalizing again at the same instant changes nothing.
+        let f2 = f.finalized(Time::from_nanos(1_000));
+        assert_eq!(
+            f2.to_json().render(),
+            f.to_json().render(),
+            "finalize must be idempotent"
+        );
     }
 
     #[test]

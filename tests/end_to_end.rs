@@ -227,7 +227,7 @@ fn deliveries_survive_packet_loss() {
             len,
             10,
             CoalescingStrategy::OpenMx { delay_us: 75 },
-            disturbance.clone(),
+            disturbance,
             7,
         );
         assert_eq!(got, 10, "len {len} under loss");
@@ -307,7 +307,7 @@ fn deliveries_survive_heavy_jitter_reordering() {
             len,
             5,
             CoalescingStrategy::Stream { delay_us: 75 },
-            disturbance.clone(),
+            disturbance,
             11,
         );
         assert_eq!(got, 5, "len {len} under jitter");
@@ -332,7 +332,7 @@ fn different_seeds_change_disturbed_runs_but_not_results() {
         32 << 10,
         10,
         CoalescingStrategy::OpenMx { delay_us: 75 },
-        disturbance.clone(),
+        disturbance,
         1,
     );
     let b = deliver_with(
