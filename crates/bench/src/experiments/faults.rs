@@ -13,6 +13,12 @@
 //! with violations still renders — `sanitizer_violations` is part of the
 //! report — but the run panics first unless every invariant holds, so a
 //! green `omx-bench faults` certifies the recovery path end to end.
+//!
+//! Cells are independent (own cluster, own fixed seed derived from the
+//! cell index) and run through [`super::parallel_map`] on the shared
+//! work-stealing pool, committing in cell-index order — `--jobs N` changes
+//! wall-clock time, never a byte of `results/faults.json` (DESIGN §11;
+//! enforced by `tests/parallel_determinism.rs`).
 
 use super::{all_strategies, parallel_map};
 use crate::report::Table;

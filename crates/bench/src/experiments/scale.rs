@@ -14,7 +14,10 @@
 //! duplicate detection, no stranded protocol state) — so a green
 //! `omx-bench scale` certifies the collectives and the bounded-buffer
 //! recovery path together. Per-cell seeds are fixed: the report is
-//! byte-identical across runs and machines.
+//! byte-identical across runs and machines — including across `--jobs`
+//! values, since cells are independent simulations fanned out through
+//! [`super::parallel_map`] and committed in cell-index order (DESIGN §11;
+//! enforced by `tests/parallel_determinism.rs`).
 
 use super::{all_strategies, parallel_map};
 use crate::report::Table;

@@ -1,9 +1,10 @@
 //! Experiment CLI — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! omx-bench <experiment> [--quick] [--slo] [--trace[=FILE]]
+//! omx-bench <experiment> [--quick] [--slo] [--jobs N] [--trace[=FILE]]
 //! omx-bench trace <experiment> [--quick]
-//! omx-bench timeline <experiment> [--quick]
+//! omx-bench timeline <experiment> [--quick] [--jobs N]
+//! omx-bench perf [--smoke] [--iters N] [--jobs N]
 //!
 //! experiments:
 //!   fig4               message rate vs coalescing delay (Fig. 4)
@@ -46,6 +47,17 @@
 //!
 //! `--quick` shrinks repetition counts (useful for smoke tests). Results are
 //! printed and written as JSON under `results/`.
+//!
+//! `--jobs N` sets how many campaign cells run concurrently on the in-repo
+//! work-stealing pool (`omx_sim::pool`). The default is all cores (or the
+//! `OMX_JOBS` environment variable); `--jobs 1` is the serial path. Any
+//! value produces byte-identical artifacts — cells are independent
+//! simulations with fixed seeds and results commit in cell-index order
+//! (DESIGN §11) — so `--jobs` only changes wall-clock time.
+//!
+//! `--iters N` (perf only) overrides every benchmark's timed iteration
+//! count; the `--smoke` regression gate still applies to the means it
+//! produces.
 
 use omx_bench::experiments::{
     adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, overhead, pingpong, scale,
@@ -97,7 +109,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("sensitivity", "cost-model perturbation study (robustness)"),
     (
         "perf",
-        "substrate micro-benchmarks → BENCH_sim.json (--smoke)",
+        "substrate micro-benchmarks → BENCH_sim.json (--smoke, --iters N)",
     ),
     (
         "trace",
@@ -110,8 +122,43 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("all", "every experiment above (except perf)"),
 ];
 
+/// Extract `--NAME N` / `--NAME=N` from `args`, returning the parsed value
+/// and removing the flag (and its detached value) so the positional scan
+/// below never mistakes `N` for an experiment name. Exits with status 2 on
+/// a malformed or missing value, like the unknown-experiment path.
+fn take_numeric_flag(args: &mut Vec<String>, name: &str) -> Option<u64> {
+    let prefix = format!("{name}=");
+    let idx = args
+        .iter()
+        .position(|a| a == name || a.starts_with(&prefix))?;
+    let raw = if args[idx] == name {
+        if idx + 1 >= args.len() {
+            eprintln!("{name} requires a value, e.g. `{name} 4`");
+            std::process::exit(2);
+        }
+        args.remove(idx + 1)
+    } else {
+        args[idx][prefix.len()..].to_string()
+    };
+    args.remove(idx);
+    match raw.parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("{name} expects a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Campaign parallelism: `--jobs N` pins the work-stealing pool width
+    // (over OMX_JOBS and auto-detection); must be set before anything
+    // touches the shared pool. `--jobs 1` selects the serial path.
+    if let Some(jobs) = take_numeric_flag(&mut args, "--jobs") {
+        omx_sim::pool::set_jobs(jobs as usize);
+    }
+    let iters_override = take_numeric_flag(&mut args, "--iters").map(|n| n as u32);
     let quick = args.iter().any(|a| a == "--quick");
     let slo = args.iter().any(|a| a == "--slo");
     // Global --trace[=FILE] flag: capture a trace after the experiment.
@@ -170,7 +217,7 @@ fn main() {
         "multiqueue" => run_multiqueue(),
         "jumbo" => run_jumbo(quick),
         "sensitivity" => run_sensitivity(quick),
-        "perf" => run_perf(args.iter().any(|a| a == "--smoke")),
+        "perf" => run_perf(args.iter().any(|a| a == "--smoke"), iters_override),
         "all" => {
             run_fig4(quick);
             run_overhead(quick);
@@ -377,25 +424,38 @@ fn run_sensitivity(quick: bool) {
     persist("sensitivity JSON", write_json("sensitivity", &result));
 }
 
-fn run_perf(smoke: bool) {
+fn run_perf(smoke: bool, iters: Option<u32>) {
     println!(
         "== substrate perf baseline{} ==",
         if smoke { " (smoke)" } else { "" }
     );
-    let report = omx_bench::perf::run(smoke);
+    let report = omx_bench::perf::run(smoke, iters);
     omx_bench::perf::print_summary(&report);
     match omx_bench::perf::write_report(&report) {
         Ok(()) => println!("wrote BENCH_sim.json"),
         Err(e) => eprintln!("failed to write BENCH_sim.json: {e}"),
     }
+    // The campaign/* serial-vs-parallel comparison doubles as a CI
+    // artifact: results/campaign_speedup.json.
+    persist(
+        "campaign speedup comparison",
+        omx_bench::perf::write_campaign_comparison(&report),
+    );
     // Smoke mode doubles as CI's perf regression gate: any bench with a
-    // recorded baseline that regressed past 2× fails the run.
+    // recorded baseline that regressed past 2× fails the run, and on a
+    // multi-core runner the campaign/* parallel benches must clear 2×
+    // over their same-run serial baselines (vacuous at --jobs 1 or on
+    // hosts with fewer than 4 cores, where the speedup cannot exist).
     if smoke {
         let regressed = omx_bench::perf::regressions(&report, 2.0);
-        if !regressed.is_empty() {
-            for (id, mean, baseline) in &regressed {
-                eprintln!("perf regression: {id} mean {mean} ns > 2x baseline {baseline} ns");
-            }
+        for (id, mean, baseline) in &regressed {
+            eprintln!("perf regression: {id} mean {mean} ns > 2x baseline {baseline} ns");
+        }
+        let shortfalls = omx_bench::perf::speedup_shortfalls(&report, 2.0, 4);
+        for (id, speedup) in &shortfalls {
+            eprintln!("campaign speedup shortfall: {id} at {speedup:.2}x, expected >= 2x serial");
+        }
+        if !regressed.is_empty() || !shortfalls.is_empty() {
             std::process::exit(3);
         }
     }

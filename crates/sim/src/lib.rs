@@ -19,17 +19,24 @@
 //! * [`stats`] — counters, histograms and online summary statistics used by
 //!   the measurement harness,
 //! * [`json`] — the self-contained JSON value model used by the result
-//!   writers and the trace exporters (no external serialisation crates).
+//!   writers and the trace exporters (no external serialisation crates),
+//! * [`pool`] — a dependency-free work-stealing thread pool ([`Pool`])
+//!   with ordered fork-join commit, plus the process-wide `--jobs` /
+//!   `OMX_JOBS` worker-count policy.
 //!
 //! The engine is intentionally single-threaded: determinism is a hard
 //! requirement for the paper reproduction (identical seeds must produce
-//! identical interrupt counts). Parallelism lives one level up, in the
-//! experiment harness, which runs many independent simulations at once.
+//! identical interrupt counts). Parallelism lives one level up: the
+//! experiment harness runs many *independent* simulations at once on the
+//! [`pool`], committing their results in input order so every report is
+//! byte-identical to a serial run (see the `pool` module docs for the
+//! determinism contract).
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod json;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod slab;
@@ -37,6 +44,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, Model, Scheduler, StopCondition};
+pub use pool::Pool;
 pub use queue::{EventQueue, EventToken};
 pub use slab::{Slab, SlabToken};
 pub use time::{Time, TimeDelta};

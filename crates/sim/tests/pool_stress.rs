@@ -1,0 +1,182 @@
+//! Property and stress tests for the work-stealing pool (ISSUE 7,
+//! satellite 4): no task lost under contention, panic propagation to the
+//! submitter, graceful shutdown with tasks in flight, and the ordered
+//! fork-join commit that campaign determinism stands on.
+//!
+//! Randomised cases use the crate's own deterministic [`SimRng`] (fixed
+//! seeds, so failures reproduce exactly) — same idiom as the queue and
+//! collective property tests.
+
+use omx_sim::pool::{self, Pool};
+use omx_sim::rng::SimRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Model-checked counter: every spawned task runs exactly once, whatever
+/// the contention. Submitters race from multiple external threads while
+/// workers steal among themselves; the final count must equal the exact
+/// number of spawns (a lost task undercounts, a double-run overcounts).
+#[test]
+fn no_task_lost_under_contention() {
+    let mut rng = SimRng::new(0x9001_0001);
+    for case in 0..8 {
+        let workers = 1 + (case % 4);
+        let submitters = 1 + (case % 3);
+        let per_submitter = rng.range_u64(50, 400);
+        let pool = Arc::new(Pool::new(workers));
+        let ran = Arc::new(AtomicU64::new(0));
+        let spawned = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..submitters {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                let spawned = Arc::clone(&spawned);
+                s.spawn(move || {
+                    for i in 0..per_submitter {
+                        spawned.fetch_add(1, Ordering::Relaxed);
+                        let ran = Arc::clone(&ran);
+                        pool.spawn(move || {
+                            // Vary task weight so stealing actually happens.
+                            if i % 13 == 0 {
+                                std::thread::yield_now();
+                            }
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        // Barrier: a scope joins only after the pool drained everything
+        // ahead of it in this submitter's view; then drop the pool to
+        // flush any stragglers deterministically.
+        let pool = Arc::try_unwrap(pool).unwrap_or_else(|arc| {
+            panic!(
+                "submitters done, sole owner expected ({} refs)",
+                Arc::strong_count(&arc)
+            )
+        });
+        drop(pool);
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            spawned.load(Ordering::Relaxed),
+            "case {case}: every submitted task runs exactly once"
+        );
+    }
+}
+
+/// Ordered map equals the serial map for randomized input sizes and task
+/// durations — the determinism contract (execution may reorder, output
+/// never does), checked against the model implementation.
+#[test]
+fn map_matches_serial_model_under_random_loads() {
+    let mut rng = SimRng::new(0x9001_0002);
+    let pool = Pool::new(4);
+    for _case in 0..32 {
+        let n = rng.range_u64(0, 120) as usize;
+        let inputs: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000_000)).collect();
+        let model: Vec<String> = inputs.iter().map(|x| format!("{:x}", x * 7 + 1)).collect();
+        let out = pool.map(inputs, |x| {
+            if x % 17 == 0 {
+                std::thread::yield_now();
+            }
+            format!("{:x}", x * 7 + 1)
+        });
+        assert_eq!(out, model);
+    }
+}
+
+/// A panic in a worker task crosses back to the submitting thread, and
+/// sibling tasks of the same scope still complete before it surfaces.
+#[test]
+fn worker_panic_propagates_after_siblings_finish() {
+    let pool = Pool::new(3);
+    let finished = AtomicUsize::new(0);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for i in 0..24 {
+                let finished = &finished;
+                s.spawn(move || {
+                    if i == 5 {
+                        panic!("worker task {i} failed");
+                    }
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    assert!(caught.is_err(), "panic must reach the submitter");
+    assert_eq!(
+        finished.load(Ordering::Relaxed),
+        23,
+        "scope joins every sibling before re-raising"
+    );
+    // The pool is not poisoned: it keeps executing new work.
+    assert_eq!(pool.map(vec![1u32, 2, 3], |x| x + 1), vec![2, 3, 4]);
+}
+
+/// Graceful shutdown with tasks in flight: dropping the pool while queued
+/// tasks are still pending runs them all — submission guarantees
+/// execution, nothing is cancelled.
+#[test]
+fn drop_drains_tasks_in_flight() {
+    for workers in [1, 2, 8] {
+        let pool = Pool::new(workers);
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..500 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins workers; queues drain before exit
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            500,
+            "{workers}-worker pool must drain its backlog on drop"
+        );
+    }
+}
+
+/// Tasks spawned from inside a running task (nested scopes) complete
+/// without deadlock even on a single-worker pool — the joining worker
+/// helps execute queued tasks instead of parking.
+#[test]
+fn nested_scopes_on_one_worker_do_not_deadlock() {
+    let pool = Pool::new(1);
+    let total = AtomicU64::new(0);
+    pool.scope(|outer| {
+        let total = &total;
+        let pool = &pool;
+        outer.spawn(move || {
+            pool.scope(|inner| {
+                for _ in 0..8 {
+                    inner.spawn(|| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            total.fetch_add(100, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 108);
+}
+
+/// The jobs policy: `with_jobs` scopes the effective value to the closure
+/// (panic-safe restore), and 1 is the documented serial sentinel.
+#[test]
+fn with_jobs_restores_on_panic() {
+    let baseline = pool::effective_jobs();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pool::with_jobs(7, || {
+            assert_eq!(pool::effective_jobs(), 7);
+            panic!("inside override");
+        })
+    }));
+    assert!(caught.is_err());
+    assert_eq!(
+        pool::effective_jobs(),
+        baseline,
+        "override must unwind with the stack"
+    );
+}
