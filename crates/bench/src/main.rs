@@ -1,10 +1,10 @@
 //! Experiment CLI — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! omx-bench <experiment> [--quick] [--slo] [--jobs N] [--trace[=FILE]]
+//! omx-bench <experiment> [--quick] [--slo] [--jobs N] [--sim-jobs N] [--trace[=FILE]]
 //! omx-bench trace <experiment> [--quick]
 //! omx-bench timeline <experiment> [--quick] [--jobs N]
-//! omx-bench perf [--smoke] [--iters N] [--jobs N]
+//! omx-bench perf [--smoke] [--iters N] [--jobs N] [--sim-jobs N]
 //!
 //! experiments:
 //!   fig4               message rate vs coalescing delay (Fig. 4)
@@ -54,6 +54,13 @@
 //! value produces byte-identical artifacts — cells are independent
 //! simulations with fixed seeds and results commit in cell-index order
 //! (DESIGN §11) — so `--jobs` only changes wall-clock time.
+//!
+//! `--sim-jobs N` sets how many worker threads the conservative parallel
+//! DES core (DESIGN §12) uses *inside* each drained simulation (default 1
+//! = serial engine; or the `OMX_SIM_JOBS` environment variable). It is
+//! orthogonal to `--jobs`: one splits a single big simulation across
+//! cores, the other runs independent cells concurrently. Any value
+//! produces byte-identical artifacts.
 //!
 //! `--iters N` (perf only) overrides every benchmark's timed iteration
 //! count; the `--smoke` regression gate still applies to the means it
@@ -157,6 +164,14 @@ fn main() {
     // touches the shared pool. `--jobs 1` selects the serial path.
     if let Some(jobs) = take_numeric_flag(&mut args, "--jobs") {
         omx_sim::pool::set_jobs(jobs as usize);
+    }
+    // Engine parallelism: `--sim-jobs N` sets how many worker threads the
+    // conservative parallel DES core uses *inside* one drained simulation
+    // (over OMX_SIM_JOBS; default 1 = serial). Orthogonal to `--jobs`,
+    // which parallelizes across campaign cells. Output is byte-identical
+    // at any value (DESIGN §12).
+    if let Some(jobs) = take_numeric_flag(&mut args, "--sim-jobs") {
+        omx_sim::pool::set_sim_jobs(jobs as usize);
     }
     let iters_override = take_numeric_flag(&mut args, "--iters").map(|n| n as u32);
     let quick = args.iter().any(|a| a == "--quick");
@@ -441,11 +456,20 @@ fn run_perf(smoke: bool, iters: Option<u32>) {
         "campaign speedup comparison",
         omx_bench::perf::write_campaign_comparison(&report),
     );
+    // Likewise the e2e/*_par parallel-engine comparison:
+    // results/engine_speedup.json.
+    persist(
+        "engine speedup comparison",
+        omx_bench::perf::write_engine_comparison(&report),
+    );
     // Smoke mode doubles as CI's perf regression gate: any bench with a
-    // recorded baseline that regressed past 2× fails the run, and on a
+    // recorded baseline that regressed past 2× fails the run; on a
     // multi-core runner the campaign/* parallel benches must clear 2×
     // over their same-run serial baselines (vacuous at --jobs 1 or on
-    // hosts with fewer than 4 cores, where the speedup cannot exist).
+    // hosts with fewer than 4 cores, where the speedup cannot exist),
+    // and the e2e/*_par parallel-engine benches must clear 1.5× over
+    // their same-run serial-engine baselines (vacuous below --sim-jobs 4
+    // or 4 cores — epoch barriers only pay off with real parallelism).
     if smoke {
         let regressed = omx_bench::perf::regressions(&report, 2.0);
         for (id, mean, baseline) in &regressed {
@@ -455,7 +479,13 @@ fn run_perf(smoke: bool, iters: Option<u32>) {
         for (id, speedup) in &shortfalls {
             eprintln!("campaign speedup shortfall: {id} at {speedup:.2}x, expected >= 2x serial");
         }
-        if !regressed.is_empty() || !shortfalls.is_empty() {
+        let engine_shortfalls = omx_bench::perf::engine_speedup_shortfalls(&report, 1.5, 4, 4);
+        for (id, speedup) in &engine_shortfalls {
+            eprintln!(
+                "engine speedup shortfall: {id} at {speedup:.2}x, expected >= 1.5x serial engine"
+            );
+        }
+        if !regressed.is_empty() || !shortfalls.is_empty() || !engine_shortfalls.is_empty() {
             std::process::exit(3);
         }
     }

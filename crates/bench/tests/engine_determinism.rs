@@ -1,0 +1,166 @@
+//! Cross-process determinism of the conservative parallel DES core
+//! (ISSUE 8).
+//!
+//! The engine contract (DESIGN §12) mirrors the campaign executor's
+//! (DESIGN §11): **parallelism may reorder execution, but never observable
+//! output**. The epoch-synchronized engine partitions one simulation's
+//! nodes across workers and merges cross-partition frames in serial
+//! dispatch order, so every artifact — campaign tables, telemetry
+//! timelines, goldens — must regenerate *byte-identical* at any
+//! `--sim-jobs` value. These tests spawn the real `omx-bench` binary —
+//! separate processes, separate working directories — at `--sim-jobs 1`
+//! (the serial engine), `--sim-jobs 2`, and `--sim-jobs 8` (more workers
+//! than this machine has cores, so barrier contention and oversubscription
+//! are both in play), and compare artifact bytes.
+//!
+//! In-process companions pin the committed goldens through the parallel
+//! engine, and the CLI-validation tests cover the ISSUE 8 satellite: a
+//! malformed `--jobs`/`--sim-jobs` must fail loudly with a non-zero exit,
+//! and a malformed `OMX_SIM_JOBS` must warn on stderr and fall back to the
+//! serial engine instead of silently parsing as something else.
+
+use omx_sim::pool;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Run `omx-bench <args>` in a fresh scratch directory and return the
+/// bytes of `results/<artifact>` it wrote there.
+fn run_in_scratch(tag: &str, args: &[&str], artifact: &str) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("omx_engine_det_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let bin = PathBuf::from(env!("CARGO_BIN_EXE_omx-bench"));
+    let output = Command::new(&bin)
+        .args(args)
+        .current_dir(&dir)
+        .output()
+        .expect("spawn omx-bench");
+    assert!(
+        output.status.success(),
+        "omx-bench {args:?} failed (status {:?}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let bytes = std::fs::read(dir.join("results").join(artifact))
+        .unwrap_or_else(|e| panic!("read {artifact} after omx-bench {args:?}: {e}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!bytes.is_empty(), "{artifact} is empty");
+    bytes
+}
+
+/// `results/scale.json` regenerates byte-identical at --sim-jobs 1, 2,
+/// and 8 (with --slo on, so the per-cell latency summaries — histograms
+/// fed by the merged event order — are covered too).
+#[test]
+fn scale_quick_json_is_byte_identical_across_sim_jobs() {
+    let args = |jobs| vec!["scale", "--quick", "--slo", "--sim-jobs", jobs];
+    let serial = run_in_scratch("scale_sj1", &args("1"), "scale.json");
+    for jobs in ["2", "8"] {
+        let parallel = run_in_scratch(&format!("scale_sj{jobs}"), &args(jobs), "scale.json");
+        assert!(
+            serial == parallel,
+            "scale.json differs between --sim-jobs 1 and --sim-jobs {jobs}"
+        );
+    }
+}
+
+/// The windowed-telemetry timeline — the most order-sensitive artifact,
+/// since every 100 µs window samples counters mid-run — regenerates
+/// byte-identical on the parallel engine.
+#[test]
+fn timeline_quick_jsonl_is_byte_identical_across_sim_jobs() {
+    let args = |jobs| vec!["timeline", "scale", "--quick", "--sim-jobs", jobs];
+    let serial = run_in_scratch("tl_sj1", &args("1"), "timeline_alltoall_8n.jsonl");
+    let parallel = run_in_scratch("tl_sj2", &args("2"), "timeline_alltoall_8n.jsonl");
+    assert!(
+        serial == parallel,
+        "timeline JSONL differs between --sim-jobs 1 and --sim-jobs 2"
+    );
+}
+
+/// The pinned scale campaign cell reproduces its committed golden through
+/// the parallel engine, including at a worker count that does not divide
+/// the node count.
+#[test]
+fn scale_golden_cell_is_sim_jobs_invariant() {
+    use omx_bench::experiments::scale;
+    use omx_sim::json::ToJson;
+    let golden = include_str!("golden/scale_cell.json");
+    for jobs in [2, 3, 8] {
+        let par = pool::with_sim_jobs(jobs, || scale::golden_cell().to_json().render_pretty());
+        assert!(
+            par == golden,
+            "golden cell diverged from the committed golden at sim_jobs={jobs}"
+        );
+    }
+}
+
+/// The committed timeline golden reproduces through the parallel engine.
+#[test]
+fn timeline_golden_is_sim_jobs_invariant() {
+    let golden = include_str!("golden/timeline_4n.jsonl");
+    let par = pool::with_sim_jobs(2, || omx_bench::timeline::capture(4, 1));
+    assert!(
+        par.jsonl == golden,
+        "parallel-engine timeline diverged from the committed golden"
+    );
+}
+
+/// Satellite: a malformed `--sim-jobs` (and `--jobs`) value must exit
+/// non-zero with a pointed message, not fall back to a default and run
+/// the wrong configuration.
+#[test]
+fn malformed_jobs_flags_exit_nonzero() {
+    let bin = PathBuf::from(env!("CARGO_BIN_EXE_omx-bench"));
+    for flag in ["--sim-jobs", "--jobs"] {
+        for value in ["abc", "0", "-2"] {
+            let output = Command::new(&bin)
+                .args(["scale", "--quick", flag, value])
+                .output()
+                .expect("spawn omx-bench");
+            assert_eq!(
+                output.status.code(),
+                Some(2),
+                "omx-bench {flag} {value} should exit 2"
+            );
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            assert!(
+                stderr.contains("positive integer"),
+                "missing diagnostic for {flag} {value}: {stderr}"
+            );
+        }
+        // A trailing flag with no value at all is the same error class.
+        let output = Command::new(&bin)
+            .args(["scale", "--quick", flag])
+            .output()
+            .expect("spawn omx-bench");
+        assert_eq!(output.status.code(), Some(2), "bare {flag} should exit 2");
+    }
+}
+
+/// Satellite: a malformed `OMX_SIM_JOBS` environment value warns once on
+/// stderr and falls back to the serial engine — the run itself succeeds.
+#[test]
+fn malformed_sim_jobs_env_warns_and_runs_serial() {
+    let dir = std::env::temp_dir().join(format!("omx_engine_det_{}_env", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let bin = PathBuf::from(env!("CARGO_BIN_EXE_omx-bench"));
+    let output = Command::new(&bin)
+        .args(["timeline", "scale", "--quick"])
+        .env("OMX_SIM_JOBS", "lots")
+        .current_dir(&dir)
+        .output()
+        .expect("spawn omx-bench");
+    assert!(
+        output.status.success(),
+        "invalid OMX_SIM_JOBS must fall back, not fail:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("ignoring invalid OMX_SIM_JOBS"),
+        "expected a fallback warning on stderr, got:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

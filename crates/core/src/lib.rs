@@ -50,6 +50,7 @@ pub mod latency;
 pub mod marking;
 pub mod matching;
 pub mod metrics;
+pub(crate) mod par_run;
 pub mod proto;
 pub mod sanitizer;
 pub mod system;

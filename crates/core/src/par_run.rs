@@ -1,0 +1,496 @@
+//! The conservative parallel drain engine (DESIGN §12).
+//!
+//! [`drain_parallel`] runs a not-yet-started [`Cluster`] to quiescence on
+//! `parts` worker threads while producing output byte-identical to the
+//! serial engine. The scheme:
+//!
+//! * **Partition.** The cluster's nodes split into `parts` contiguous
+//!   [`Shard`]s ([`Shard::split`]), each with its own event queue
+//!   ([`ParQueue`]). Every event handler is shard-local by construction —
+//!   cross-node interaction exists only as fabric transmissions.
+//!
+//! * **Epochs.** Time advances in barrier-synchronized epochs
+//!   `[T0, epoch_end)` where `T0` is the global minimum next-event time and
+//!   `epoch_end = min(T0 + lookahead, next telemetry tick boundary,
+//!   horizon + 1)`. The lookahead is the fabric's minimum cross-node
+//!   transit time ([`FabricConfig::lookahead_ns`]): any frame transmitted
+//!   by an epoch-`[T0, end)` dispatch arrives at `≥ T0 + lookahead ≥ end`,
+//!   i.e. always in a later epoch — workers never need each other's
+//!   in-epoch effects.
+//!
+//! * **Deterministic merge.** Workers dispatch only *node-local* effects
+//!   eagerly (their own queue); everything with global state — fabric
+//!   transmits, trace records, sanitizer taps — is logged per dispatch.
+//!   At the barrier the coordinator replays those logs in *exact serial
+//!   dispatch order*, reconstructed by [`merge_order`] from the lineage
+//!   stamps each dispatch carries (see `omx_sim::par` for the proof). The
+//!   fabric (with its disturbance RNG), tracer, and sanitizer therefore
+//!   observe the identical call sequence the serial engine would have made,
+//!   and cross-shard frame arrivals are enqueued with deterministic keys.
+//!
+//! [`FabricConfig::lookahead_ns`]: omx_fabric::FabricConfig::lookahead_ns
+
+use crate::system::{Cluster, Ev, Shard, SimCtx, SystemModel, WireFrame};
+use crate::telemetry::PortTap;
+use crate::trace::{TraceData, TraceKind};
+use crate::wire::{NodeId, Packet};
+use omx_fabric::{PortId, TransmitOutcome};
+use omx_sim::par::{merge_order, Key, ParQueue, Rec, SpinBarrier, Stamp};
+use omx_sim::{EventToken, StopCondition, Time};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// One global side effect logged by a worker dispatch, replayed by the
+/// coordinator at the epoch barrier in serial dispatch order.
+enum Effect {
+    /// Open-MX packet handed to the fabric. `idx` is the push-intent index
+    /// within the dispatch — the arrival's deterministic queue key.
+    TxOmx {
+        idx: u32,
+        t: Time,
+        pkt: Packet,
+    },
+    /// Raw Ethernet frame handed to the fabric.
+    TxRaw {
+        idx: u32,
+        t: Time,
+        src: u16,
+        dst: NodeId,
+        payload_len: u32,
+    },
+    /// A trace record (payload built eagerly; only logged when tracing is
+    /// enabled, so the disabled case still costs one branch).
+    Trace {
+        at: Time,
+        node: u16,
+        kind: TraceKind,
+        data: TraceData,
+    },
+    SanPosted {
+        src: u16,
+        dst: u16,
+        len: u32,
+    },
+    SanCompleted,
+    SanDelivered {
+        src: u16,
+        dst: u16,
+        msg: u64,
+        len: u32,
+    },
+}
+
+/// A worker's slice of the cluster plus its epoch-local logs.
+struct WorkerShard {
+    shard: Shard,
+    queue: ParQueue<Ev>,
+    /// Dispatch counter — the `local_seq` of the next minted stamp.
+    next_local_seq: u64,
+    /// Dispatch records of the current epoch, in pop order.
+    recs: Vec<Rec>,
+    /// Flat effect log of the current epoch; `effect_counts[i]` effects
+    /// belong to `recs[i]`.
+    effects: Vec<Effect>,
+    effect_counts: Vec<u32>,
+}
+
+/// The worker-side [`SimCtx`]: node-local scheduling goes to the shard's
+/// own queue immediately (keyed by lineage); global effects are logged.
+struct ParCtx<'a> {
+    queue: &'a mut ParQueue<Ev>,
+    effects: &'a mut Vec<Effect>,
+    /// Stamp minted for the dispatch currently running.
+    parent: &'a Arc<Stamp>,
+    /// Next push-intent index within this dispatch. Counts *both* local
+    /// schedules and transmit intents, mirroring the serial engine's global
+    /// push sequence restricted to this dispatch.
+    idx: u32,
+    now: Time,
+    trace_on: bool,
+}
+
+impl ParCtx<'_> {
+    fn next_idx(&mut self) -> u32 {
+        let idx = self.idx;
+        self.idx += 1;
+        idx
+    }
+}
+
+impl SimCtx for ParCtx<'_> {
+    fn schedule_at(&mut self, at: Time, ev: Ev) -> EventToken {
+        debug_assert!(at >= self.now, "event scheduled into the past");
+        let idx = self.next_idx();
+        self.queue.push(
+            at,
+            Key {
+                parent: Arc::clone(self.parent),
+                idx,
+            },
+            ev,
+        )
+    }
+
+    fn cancel(&mut self, tok: EventToken) {
+        self.queue.cancel(tok);
+    }
+
+    fn transmit_omx_wire(&mut self, t: Time, pkt: Packet) {
+        let idx = self.next_idx();
+        self.effects.push(Effect::TxOmx { idx, t, pkt });
+    }
+
+    fn transmit_raw_wire(&mut self, t: Time, src: u16, dst: NodeId, payload_len: u32) {
+        let idx = self.next_idx();
+        self.effects.push(Effect::TxRaw {
+            idx,
+            t,
+            src,
+            dst,
+            payload_len,
+        });
+    }
+
+    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
+        if self.trace_on {
+            self.effects.push(Effect::Trace {
+                at,
+                node,
+                kind,
+                data: data(),
+            });
+        }
+    }
+
+    fn san_send_posted(&mut self, src: u16, dst: u16, len: u32) {
+        self.effects.push(Effect::SanPosted { src, dst, len });
+    }
+
+    fn san_send_completed(&mut self) {
+        self.effects.push(Effect::SanCompleted);
+    }
+
+    fn san_delivered(&mut self, src: u16, dst: u16, msg: u64, len: u32) {
+        self.effects
+            .push(Effect::SanDelivered { src, dst, msg, len });
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Drain one worker's queue up to (excluding) `epoch_end`, minting a
+/// lineage stamp per dispatch and logging global effects for the barrier
+/// replay. Events a dispatch schedules inside the epoch window are
+/// processed within the same epoch (the loop re-peeks).
+fn process_epoch(ws: &mut WorkerShard, shard_id: u32, epoch_end: Time, trace_on: bool) {
+    while ws.queue.peek_time().is_some_and(|t| t < epoch_end) {
+        let (time, key, ev) = ws.queue.pop().expect("peeked event pops");
+        let stamp = Stamp::new(time, shard_id, ws.next_local_seq);
+        ws.next_local_seq += 1;
+        let effects_before = ws.effects.len();
+        let mut ctx = ParCtx {
+            queue: &mut ws.queue,
+            effects: &mut ws.effects,
+            parent: &stamp,
+            idx: 0,
+            now: time,
+            trace_on,
+        };
+        ws.shard.dispatch(time, ev, &mut ctx);
+        assert!(
+            !ws.shard.stop,
+            "ActorCtx::stop() during a parallel drain run (drain workloads \
+             run to quiescence; use the serial Cluster::run for stop-mode \
+             workloads)"
+        );
+        ws.recs.push(Rec {
+            stamp,
+            parent: key.parent,
+            parent_idx: key.idx,
+        });
+        ws.effect_counts
+            .push((ws.effects.len() - effects_before) as u32);
+    }
+}
+
+/// Run `cluster` to quiescence (or the horizon) on `parts` worker threads.
+///
+/// Called only from [`Cluster::run_drain`], which owns the eligibility
+/// check (not started, ≥ 2 nodes, lookahead ≥ 1 ns) and the post-run
+/// bookkeeping (closing the telemetry window, the quiescence sanitize).
+pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize) -> StopCondition {
+    let tick_period = cluster.engine.tick_period_ns();
+    let model = cluster.engine.model_mut();
+    let lookahead_ns = model.fabric.config().lookahead_ns();
+    debug_assert!(lookahead_ns >= 1, "parallel drain needs positive lookahead");
+    let trace_on = model.tracer.is_some();
+    let keys = model.shard.actor_keys_sorted();
+
+    let mut workers: Vec<Mutex<WorkerShard>> = model
+        .shard
+        .split(parts)
+        .into_iter()
+        .map(|shard| {
+            Mutex::new(WorkerShard {
+                shard,
+                queue: ParQueue::new(),
+                next_local_seq: 0,
+                recs: Vec::new(),
+                effects: Vec::new(),
+                effect_counts: Vec::new(),
+            })
+        })
+        .collect();
+    let bases: Vec<u16> = workers
+        .iter_mut()
+        .map(|w| {
+            w.get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .shard
+                .base
+        })
+        .collect();
+    // Which worker owns global node `n` (bases are sorted and start at 0).
+    let owner = |node: u16| bases.partition_point(|b| *b <= node) - 1;
+
+    // Prime AppStart in global sorted-key order with root-lineage keys:
+    // (time 0, root ordinal 0, idx i) reproduces the serial engine's
+    // priming pop order exactly.
+    let root = Stamp::root();
+    for (i, &(node, ep)) in keys.iter().enumerate() {
+        let ws = workers[owner(node)]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        ws.queue.push(
+            Time(0),
+            Key {
+                parent: Arc::clone(&root),
+                idx: i as u32,
+            },
+            Ev::AppStart { node, ep },
+        );
+    }
+
+    let start = SpinBarrier::new(parts + 1);
+    let finish = SpinBarrier::new(parts + 1);
+    let epoch_end = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let abort = AtomicBool::new(false);
+    let panic_box: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    // Global dispatch ordinal (the root stamp owns 0), total dispatched
+    // events, and the time of the last dispatched event.
+    let mut next_ord: u64 = 1;
+    let mut total_events: u64 = 0;
+    let mut now = Time(0);
+    let mut next_tick = tick_period.unwrap_or(u64::MAX);
+    let mut stop = StopCondition::QueueEmpty;
+
+    std::thread::scope(|scope| {
+        for (sid, w) in workers.iter().enumerate() {
+            let (start, finish, epoch_end) = (&start, &finish, &epoch_end);
+            let (done, abort, panic_box) = (&done, &abort, &panic_box);
+            scope.spawn(move || loop {
+                start.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                // After a sibling's panic the run is aborting: keep
+                // participating in the barrier protocol as a no-op so the
+                // coordinator can shut everything down cleanly.
+                if !abort.load(Ordering::Relaxed) {
+                    let end = Time(epoch_end.load(Ordering::Acquire));
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        process_epoch(&mut lock(w), sid as u32, end, trace_on);
+                    }));
+                    if let Err(p) = r {
+                        *lock(panic_box) = Some(p);
+                        abort.store(true, Ordering::Release);
+                    }
+                }
+                finish.wait();
+            });
+        }
+
+        // Coordinator. Between `finish.wait()` and the next `start.wait()`
+        // every worker is parked at the start barrier, so locking their
+        // mutexes here is uncontended by construction.
+        loop {
+            let t0 = workers
+                .iter()
+                .filter_map(|w| lock(w).queue.peek_time())
+                .min();
+            let Some(t0) = t0 else {
+                stop = StopCondition::QueueEmpty;
+                break;
+            };
+            if t0 > horizon {
+                now = horizon;
+                stop = StopCondition::HorizonReached;
+                break;
+            }
+            // Fire the telemetry ticks the serial engine would fire before
+            // dispatching the next event: every unfired boundary ≤ T0. All
+            // events earlier than T0 have been merged, so the tick observes
+            // exactly the serial state.
+            if let Some(p) = tick_period {
+                while next_tick <= t0.as_nanos() {
+                    fire_tick(model, Time(next_tick), &workers);
+                    next_tick += p;
+                }
+            }
+            // The epoch never crosses a tick boundary (ticks must observe
+            // all events below the boundary first) nor the horizon; it
+            // always admits the T0 event, so the run terminates.
+            let end = t0
+                .as_nanos()
+                .saturating_add(lookahead_ns)
+                .min(next_tick)
+                .min(horizon.as_nanos().saturating_add(1));
+            epoch_end.store(end, Ordering::Release);
+            start.wait();
+            // ... workers drain their queues up to `end` ...
+            finish.wait();
+            if abort.load(Ordering::Acquire) {
+                break;
+            }
+
+            // Merge the epoch: replay every logged effect in exact serial
+            // dispatch order against the fabric / tracer / sanitizer, and
+            // enqueue cross-shard arrivals with deterministic keys.
+            let mut guards: Vec<MutexGuard<'_, WorkerShard>> = workers.iter().map(lock).collect();
+            let mut recs: Vec<Vec<Rec>> = Vec::with_capacity(parts);
+            let mut effs = Vec::with_capacity(parts);
+            let mut counts: Vec<Vec<u32>> = Vec::with_capacity(parts);
+            for g in &mut guards {
+                recs.push(std::mem::take(&mut g.recs));
+                effs.push(std::mem::take(&mut g.effects).into_iter());
+                counts.push(std::mem::take(&mut g.effect_counts));
+            }
+            merge_order(&recs, &mut next_ord, |s, i, rec| {
+                now = rec.stamp.time;
+                total_events += 1;
+                for _ in 0..counts[s][i] {
+                    // Within one shard the merge visits records in pop
+                    // order, so each shard's flat effect log is consumed
+                    // strictly front to back.
+                    match effs[s].next().expect("effect log in sync with recs") {
+                        Effect::TxOmx { idx, t, pkt } => {
+                            let (src, dst) = (pkt.hdr.src.node.0, pkt.hdr.dst.node.0);
+                            let outcome = model.fabric.transmit(
+                                t,
+                                PortId(src as usize),
+                                PortId(dst as usize),
+                                pkt.wire_len(),
+                            );
+                            if let TransmitOutcome::Arrives(at) = outcome {
+                                debug_assert!(
+                                    at.as_nanos() >= end,
+                                    "lookahead violated: arrival {at:?} inside epoch ending {end}"
+                                );
+                                guards[owner(dst)].queue.push(
+                                    at,
+                                    Key {
+                                        parent: Arc::clone(&rec.stamp),
+                                        idx,
+                                    },
+                                    Ev::FrameArrival {
+                                        node: dst,
+                                        pkt: WireFrame::Omx(pkt),
+                                    },
+                                );
+                            }
+                        }
+                        Effect::TxRaw {
+                            idx,
+                            t,
+                            src,
+                            dst,
+                            payload_len,
+                        } => {
+                            let frame = WireFrame::Raw { payload_len };
+                            let outcome = model.fabric.transmit(
+                                t,
+                                PortId(src as usize),
+                                PortId(dst.0 as usize),
+                                frame.wire_len(),
+                            );
+                            if let TransmitOutcome::Arrives(at) = outcome {
+                                debug_assert!(at.as_nanos() >= end);
+                                guards[owner(dst.0)].queue.push(
+                                    at,
+                                    Key {
+                                        parent: Arc::clone(&rec.stamp),
+                                        idx,
+                                    },
+                                    Ev::FrameArrival {
+                                        node: dst.0,
+                                        pkt: frame,
+                                    },
+                                );
+                            }
+                        }
+                        Effect::Trace {
+                            at,
+                            node,
+                            kind,
+                            data,
+                        } => {
+                            if let Some(t) = model.tracer.as_mut() {
+                                t.record(at, node, kind, data);
+                            }
+                        }
+                        Effect::SanPosted { src, dst, len } => {
+                            model.sanitizer.on_send_posted(src, dst, len);
+                        }
+                        Effect::SanCompleted => model.sanitizer.on_send_completed(),
+                        Effect::SanDelivered { src, dst, msg, len } => {
+                            model.sanitizer.on_delivered(src, dst, msg, len);
+                        }
+                    }
+                }
+            });
+        }
+
+        done.store(true, Ordering::Release);
+        start.wait();
+    });
+
+    if let Some(p) = lock(&panic_box).take() {
+        resume_unwind(p);
+    }
+
+    for w in workers {
+        let ws = w.into_inner().unwrap_or_else(PoisonError::into_inner);
+        model.shard.absorb(ws.shard);
+    }
+    cluster.engine.fast_forward(now, total_events);
+    stop
+}
+
+/// Close the telemetry window ending at `end`: the split-shard equivalent
+/// of `SystemModel::sample_telemetry`. Workers are parked at the start
+/// barrier when this runs, so their locks are free.
+fn fire_tick(model: &mut SystemModel, end: Time, workers: &[Mutex<WorkerShard>]) {
+    let Some(tel) = model.telemetry.as_mut() else {
+        return;
+    };
+    if !tel.begin_window(end) {
+        return;
+    }
+    for w in workers {
+        lock(w).shard.sample_nodes(tel);
+    }
+    for p in 0..model.fabric.ports() {
+        tel.sample_port(
+            p,
+            PortTap {
+                queue_len: model.fabric.switch_queue_len_at(PortId(p), end) as u64,
+                drops: model.fabric.switch_drops_at(PortId(p)),
+            },
+        );
+    }
+}

@@ -212,7 +212,12 @@ pub struct RecvCompletion {
 /// Application logic bound to one endpoint (one MPI rank, one benchmark
 /// process). Callbacks run in simulated time; all interaction goes through
 /// [`ActorCtx`].
-pub trait Actor: Any {
+///
+/// `Send` because the conservative parallel engine moves each node's
+/// actors (with the rest of the node's state) onto a worker thread for the
+/// duration of a run; actors never run concurrently with each other's
+/// observable effects, so no `Sync` is required.
+pub trait Actor: Any + Send {
     /// Called once at simulation start.
     fn on_start(&mut self, ctx: &mut ActorCtx);
     /// A send posted with `handle` completed.
@@ -340,7 +345,7 @@ impl ActorCtx<'_> {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// A frame arrived at a node's NIC from the wire.
     FrameArrival { node: u16, pkt: WireFrame },
     /// A NIC DMA transfer completed.
@@ -375,13 +380,13 @@ enum Ev {
 
 /// What travels on the fabric: an Open-MX packet or a raw frame.
 #[derive(Debug, Clone, Copy)]
-enum WireFrame {
+pub(crate) enum WireFrame {
     Omx(Packet),
     Raw { payload_len: u32 },
 }
 
 impl WireFrame {
-    fn wire_len(&self) -> u32 {
+    pub(crate) fn wire_len(&self) -> u32 {
         match self {
             WireFrame::Omx(p) => p.wire_len(),
             WireFrame::Raw { payload_len } => ETH_HEADER_BYTES + payload_len,
@@ -440,15 +445,144 @@ impl NodeRt {
 // The system model
 // ---------------------------------------------------------------------------
 
-struct SystemModel {
-    cfg: ClusterConfig,
+/// The side-effect interface a [`Shard`] dispatch reaches the rest of the
+/// world through: event scheduling, the (shared) fabric, tracing, and the
+/// sanitizer.
+///
+/// Two implementations exist. The serial engine's [`SerialCtx`] applies
+/// every effect immediately — scheduling goes to the engine's
+/// [`Scheduler`], transmits hit the fabric inline. The parallel engine's
+/// worker context (`par_run::ParCtx`) applies *node-local* effects to the
+/// shard's own queue immediately and logs the rest (transmit intents,
+/// trace and sanitizer records) for the coordinator to replay at the epoch
+/// barrier in exact serial dispatch order — which is what keeps output
+/// byte-identical (DESIGN §12).
+pub(crate) trait SimCtx {
+    /// Schedule a node-local event. Every event a dispatch schedules must
+    /// target the same node the dispatch ran on — cross-node effects only
+    /// travel through the fabric.
+    fn schedule_at(&mut self, at: Time, ev: Ev) -> EventToken;
+    /// Cancel a previously scheduled (node-local) event.
+    fn cancel(&mut self, tok: EventToken);
+    /// Hand an Open-MX packet to the fabric at `t` (doorbell already paid).
+    fn transmit_omx_wire(&mut self, t: Time, pkt: Packet);
+    /// Hand a raw Ethernet frame to the fabric at `t`.
+    fn transmit_raw_wire(&mut self, t: Time, src: u16, dst: NodeId, payload_len: u32);
+    /// Record a trace event. The payload is built lazily: when tracing is
+    /// disabled the closure never runs, so tracing costs one branch.
+    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData);
+    /// Sanitizer taps (order-sensitive; the parallel path replays them in
+    /// serial dispatch order).
+    fn san_send_posted(&mut self, src: u16, dst: u16, len: u32);
+    fn san_send_completed(&mut self);
+    fn san_delivered(&mut self, src: u16, dst: u16, msg: u64, len: u32);
+}
+
+/// The serial context: effects apply immediately, exactly as the
+/// pre-refactor monolithic model did.
+pub(crate) struct SerialCtx<'a> {
+    sched: &'a mut Scheduler<Ev>,
+    fabric: &'a mut EthernetFabric,
+    tracer: &'a mut Option<Tracer>,
+    sanitizer: &'a mut Sanitizer,
+}
+
+impl SimCtx for SerialCtx<'_> {
+    fn schedule_at(&mut self, at: Time, ev: Ev) -> EventToken {
+        self.sched.schedule_at(at, ev)
+    }
+
+    fn cancel(&mut self, tok: EventToken) {
+        self.sched.cancel(tok);
+    }
+
+    fn transmit_omx_wire(&mut self, t: Time, pkt: Packet) {
+        let src = pkt.hdr.src.node.0;
+        let dst = pkt.hdr.dst.node.0;
+        match self.fabric.transmit(
+            t,
+            PortId(src as usize),
+            PortId(dst as usize),
+            pkt.wire_len(),
+        ) {
+            TransmitOutcome::Arrives(at) => {
+                self.sched.schedule_at(
+                    at,
+                    Ev::FrameArrival {
+                        node: dst,
+                        pkt: WireFrame::Omx(pkt),
+                    },
+                );
+            }
+            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {
+                // Wire loss or switch-egress tail drop: the retransmission
+                // machinery recovers; nothing to schedule.
+            }
+        }
+    }
+
+    fn transmit_raw_wire(&mut self, t: Time, src: u16, dst: NodeId, payload_len: u32) {
+        let frame = WireFrame::Raw { payload_len };
+        match self.fabric.transmit(
+            t,
+            PortId(src as usize),
+            PortId(dst.0 as usize),
+            frame.wire_len(),
+        ) {
+            TransmitOutcome::Arrives(at) => {
+                self.sched.schedule_at(
+                    at,
+                    Ev::FrameArrival {
+                        node: dst.0,
+                        pkt: frame,
+                    },
+                );
+            }
+            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {}
+        }
+    }
+
+    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(at, node, kind, data());
+        }
+    }
+
+    fn san_send_posted(&mut self, src: u16, dst: u16, len: u32) {
+        self.sanitizer.on_send_posted(src, dst, len);
+    }
+
+    fn san_send_completed(&mut self) {
+        self.sanitizer.on_send_completed();
+    }
+
+    fn san_delivered(&mut self, src: u16, dst: u16, msg: u64, len: u32) {
+        self.sanitizer.on_delivered(src, dst, msg, len);
+    }
+}
+
+/// One partition of the cluster: a contiguous range of nodes with *all*
+/// their mutable state — NIC/driver/host runtime, actors, per-endpoint CPU
+/// cursors, scratch buffers. The serial engine owns exactly one shard
+/// covering every node; the parallel engine splits the cluster into one
+/// shard per worker and moves them onto threads for the duration of a run
+/// (hence `Actor: Send`).
+///
+/// Every event handler is shard-local by construction: each [`Ev`] names
+/// one node, handlers only touch that node's state, and every event they
+/// schedule targets the same node. Cross-node interaction happens solely
+/// through the [`SimCtx`] fabric methods.
+pub(crate) struct Shard {
+    /// First global node id of this shard (0 for the serial full-cluster
+    /// shard); `nodes[i]` is global node `base + i`.
+    pub(crate) base: u16,
+    pub(crate) cfg: ClusterConfig,
     nodes: Vec<NodeRt>,
-    fabric: EthernetFabric,
     actors: HashMap<(u16, u8), Box<dyn Actor>>,
     /// Per-endpoint application CPU cursor: an actor's callbacks and the
     /// work they issue are serialised on its core.
     app_busy: HashMap<(u16, u8), Time>,
-    stop: bool,
+    pub(crate) stop: bool,
     /// Scratch buffer for actor commands (reused across callbacks).
     cmd_buf: Vec<ActorCmd>,
     /// Scratch buffer for driver actions (reused across dispatches).
@@ -461,16 +595,21 @@ struct SystemModel {
     frame_scratch: Vec<WireFrame>,
     /// Pool of batch vectors cycling through `Ev::BatchDone` events.
     batch_pool: Vec<Vec<Packet>>,
-    /// Optional packet-level event trace.
-    tracer: Option<Tracer>,
-    /// Optional windowed telemetry sampler (driven by the engine tick).
-    telemetry: Option<Telemetry>,
     /// Per-node cumulative application-payload bytes delivered — the
-    /// goodput tap. Tracked here (not in `DriverCounters`) so the
-    /// serialized counter shape stays stable.
+    /// goodput tap, indexed by `node - base`. Tracked here (not in
+    /// `DriverCounters`) so the serialized counter shape stays stable.
     delivered_bytes: Vec<u64>,
+}
+
+pub(crate) struct SystemModel {
+    pub(crate) shard: Shard,
+    pub(crate) fabric: EthernetFabric,
+    /// Optional packet-level event trace.
+    pub(crate) tracer: Option<Tracer>,
+    /// Optional windowed telemetry sampler (driven by the engine tick).
+    pub(crate) telemetry: Option<Telemetry>,
     /// Invariant recorder (posted / delivered / completed accounting).
-    sanitizer: Sanitizer,
+    pub(crate) sanitizer: Sanitizer,
 }
 
 impl SystemModel {
@@ -480,18 +619,42 @@ impl SystemModel {
     /// window; `Telemetry::begin_window` rejects non-advancing boundaries,
     /// so the drain-path call is idempotent. Pure reads of layer state —
     /// nothing here touches the event queue.
-    fn sample_telemetry(&mut self, end: Time) {
+    pub(crate) fn sample_telemetry(&mut self, end: Time) {
         let Some(tel) = self.telemetry.as_mut() else {
             return;
         };
         if !tel.begin_window(end) {
             return;
         }
+        self.shard.sample_nodes(tel);
+        for p in 0..self.fabric.ports() {
+            tel.sample_port(
+                p,
+                PortTap {
+                    queue_len: self.fabric.switch_queue_len_at(PortId(p), end) as u64,
+                    drops: self.fabric.switch_drops_at(PortId(p)),
+                },
+            );
+        }
+    }
+}
+
+impl Shard {
+    /// This shard's runtime state for global node id `node`.
+    #[inline]
+    fn rt(&mut self, node: u16) -> &mut NodeRt {
+        &mut self.nodes[(node - self.base) as usize]
+    }
+
+    /// Snapshot this shard's node taps into an already-open telemetry
+    /// window (global node indices). The caller opens the window and
+    /// samples the fabric ports.
+    pub(crate) fn sample_nodes(&self, tel: &mut Telemetry) {
         for (i, n) in self.nodes.iter().enumerate() {
             let nc = n.nic.counters();
             let dc = n.driver.counters();
             tel.sample_node(
-                i,
+                self.base as usize + i,
                 NodeTap {
                     interrupts: nc.interrupts.get(),
                     hold_sum_ns: nc.coalesce_hold_ns.sum(),
@@ -505,23 +668,76 @@ impl SystemModel {
                 },
             );
         }
-        for p in 0..self.fabric.ports() {
-            tel.sample_port(
-                p,
-                PortTap {
-                    queue_len: self.fabric.switch_queue_len_at(PortId(p), end) as u64,
-                    drops: self.fabric.switch_drops_at(PortId(p)),
-                },
-            );
-        }
     }
 
-    /// Record a trace event. The payload is built lazily: when tracing is
-    /// disabled the closure never runs, so tracing costs one branch.
-    fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
-        if let Some(t) = self.tracer.as_mut() {
-            t.record(at, node, kind, data());
+    /// Keys of every attached actor, in the global priming order (the
+    /// serial `run` primes `AppStart` events in sorted key order, and the
+    /// parallel runner must reproduce exactly that order).
+    pub(crate) fn actor_keys_sorted(&self) -> Vec<(u16, u8)> {
+        let mut keys: Vec<(u16, u8)> = self.actors.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Split this shard into `parts` contiguous sub-shards, moving all node
+    /// state out (this shard keeps its `base`/`cfg` but owns zero nodes
+    /// until [`Shard::absorb`] reassembles it). Nodes are balanced so any
+    /// two parts differ by at most one node.
+    pub(crate) fn split(&mut self, parts: usize) -> Vec<Shard> {
+        let n = self.nodes.len();
+        assert!(self.base == 0, "only the full-cluster shard splits");
+        assert!((1..=n).contains(&parts), "bad split: {parts} of {n} nodes");
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut delivered = std::mem::take(&mut self.delivered_bytes);
+        let mut shards: Vec<Shard> = Vec::with_capacity(parts);
+        for p in (0..parts).rev() {
+            let start = p * n / parts;
+            shards.push(Shard {
+                base: start as u16,
+                cfg: self.cfg.clone(),
+                nodes: nodes.split_off(start),
+                actors: HashMap::new(),
+                app_busy: HashMap::new(),
+                stop: false,
+                cmd_buf: Vec::new(),
+                action_buf: Vec::new(),
+                woken_scratch: Vec::new(),
+                ready_scratch: Vec::new(),
+                frame_scratch: Vec::new(),
+                batch_pool: Vec::new(),
+                delivered_bytes: delivered.split_off(start),
+            });
         }
+        shards.reverse();
+        let bases: Vec<u16> = shards.iter().map(|s| s.base).collect();
+        let owner = |node: u16| {
+            bases
+                .partition_point(|b| *b <= node)
+                .checked_sub(1)
+                .expect("node below first shard base")
+        };
+        for ((node, ep), a) in self.actors.drain() {
+            shards[owner(node)].actors.insert((node, ep), a);
+        }
+        for ((node, ep), t) in self.app_busy.drain() {
+            shards[owner(node)].app_busy.insert((node, ep), t);
+        }
+        shards
+    }
+
+    /// Reassemble a sub-shard produced by [`Shard::split`]. Must be called
+    /// in ascending `base` order.
+    pub(crate) fn absorb(&mut self, mut w: Shard) {
+        debug_assert_eq!(
+            self.base as usize + self.nodes.len(),
+            w.base as usize,
+            "shards must be absorbed in base order"
+        );
+        self.nodes.append(&mut w.nodes);
+        self.delivered_bytes.append(&mut w.delivered_bytes);
+        self.actors.extend(w.actors.drain());
+        self.app_busy.extend(w.app_busy.drain());
+        self.stop |= w.stop;
     }
 
     fn tx_cost_ns(&self, pkt: &Packet) -> u64 {
@@ -531,7 +747,7 @@ impl SystemModel {
 
     /// Charge receive-path processing for one batch; returns duration.
     fn batch_duration(&mut self, node: u16, core: CoreId, batch: &[WireFrame]) -> u64 {
-        let costs = *self.nodes[node as usize].host.costs();
+        let costs = *self.rt(node).host.costs();
         // Waking processes blocked in `mx_wait` is handler work
         // (try_to_wake_up + rescheduling IPI, plus the C1E exit of the
         // target core when sleep states are allowed): one wake per blocking
@@ -558,7 +774,7 @@ impl SystemModel {
             }
         }
         self.woken_scratch = woken;
-        let host = &mut self.nodes[node as usize].host;
+        let host = &mut self.rt(node).host;
         let mut dur = costs.irq_dispatch_ns + wake_ns;
         // Preempting a running application costs the context switch and the
         // application's cache/TLB pollution on top of the bare dispatch.
@@ -586,10 +802,13 @@ impl SystemModel {
         dur
     }
 
-    fn transmit_omx(&mut self, now: Time, pkt: Packet, sched: &mut Scheduler<Ev>) {
+    /// Transmit one Open-MX packet: the intra-node shared-memory shortcut
+    /// stays shard-local; the wire path goes through the context (inline
+    /// fabric call in serial mode, replayed intent in parallel mode).
+    fn transmit_omx(&mut self, now: Time, pkt: Packet, ctx: &mut impl SimCtx) {
         let src = pkt.hdr.src.node.0;
         let dst = pkt.hdr.dst.node.0;
-        self.trace(now, src, TraceKind::Transmit, || TraceData::Packet {
+        ctx.trace(now, src, TraceKind::Transmit, || TraceData::Packet {
             pkt,
             desc: None,
         });
@@ -598,7 +817,7 @@ impl SystemModel {
             let bytes = pkt.payload_len() as u64;
             let delay =
                 self.cfg.shm_latency_ns + (bytes * 1_000).div_ceil(self.cfg.shm_bytes_per_us);
-            sched.schedule_at(
+            ctx.schedule_at(
                 now + TimeDelta::from_nanos(delay as i64),
                 Ev::ShmDeliver { node: dst, pkt },
             );
@@ -606,83 +825,30 @@ impl SystemModel {
         }
         let doorbell = self.cfg.host.costs.tx_doorbell_ns;
         let t = now + TimeDelta::from_nanos(doorbell as i64);
-        match self.fabric.transmit(
-            t,
-            PortId(src as usize),
-            PortId(dst as usize),
-            pkt.wire_len(),
-        ) {
-            TransmitOutcome::Arrives(at) => {
-                sched.schedule_at(
-                    at,
-                    Ev::FrameArrival {
-                        node: dst,
-                        pkt: WireFrame::Omx(pkt),
-                    },
-                );
-            }
-            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {
-                // Wire loss or switch-egress tail drop: the retransmission
-                // machinery recovers; nothing to schedule.
-            }
-        }
+        ctx.transmit_omx_wire(t, pkt);
     }
 
-    fn transmit_raw(
-        &mut self,
-        now: Time,
-        src: u16,
-        dst: NodeId,
-        payload_len: u32,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let frame = WireFrame::Raw { payload_len };
-        match self.fabric.transmit(
-            now,
-            PortId(src as usize),
-            PortId(dst.0 as usize),
-            frame.wire_len(),
-        ) {
-            TransmitOutcome::Arrives(at) => {
-                sched.schedule_at(
-                    at,
-                    Ev::FrameArrival {
-                        node: dst.0,
-                        pkt: frame,
-                    },
-                );
-            }
-            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {}
-        }
-    }
-
-    fn apply_nic_outcome(
-        &mut self,
-        node: u16,
-        now: Time,
-        out: NicOutcome,
-        sched: &mut Scheduler<Ev>,
-    ) {
+    fn apply_nic_outcome(&mut self, node: u16, now: Time, out: NicOutcome, ctx: &mut impl SimCtx) {
         if let Some((desc, at)) = out.dma {
-            sched.schedule_at(at, Ev::DmaComplete { node, desc });
+            ctx.schedule_at(at, Ev::DmaComplete { node, desc });
         }
         if let Some((at, epoch)) = out.arm_timer {
-            let rt = &mut self.nodes[node as usize];
+            let rt = self.rt(node);
             if let Some(tok) = rt.coalesce_timer_tok.take() {
-                sched.cancel(tok);
+                ctx.cancel(tok);
             }
-            rt.coalesce_timer_tok =
-                Some(sched.schedule_at(at.max(now), Ev::CoalesceTimer { node, epoch }));
+            self.rt(node).coalesce_timer_tok =
+                Some(ctx.schedule_at(at.max(now), Ev::CoalesceTimer { node, epoch }));
         }
         if out.interrupt {
-            let flow = self.nodes[node as usize].nic.claimed_flow();
-            let svc = self.nodes[node as usize].host.deliver_irq(now, flow);
-            self.trace(now, node, TraceKind::Interrupt, || TraceData::Irq {
+            let flow = self.rt(node).nic.claimed_flow();
+            let svc = self.rt(node).host.deliver_irq(now, flow);
+            ctx.trace(now, node, TraceKind::Interrupt, || TraceData::Irq {
                 core: svc.core,
                 start_ns: svc.start.as_nanos(),
                 woken: svc.was_sleeping,
             });
-            sched.schedule_at(
+            ctx.schedule_at(
                 svc.start,
                 Ev::IrqService {
                     node,
@@ -701,7 +867,7 @@ impl SystemModel {
         now: Time,
         actions: &mut Vec<DriverAction>,
         irq_core: Option<CoreId>,
-        sched: &mut Scheduler<Ev>,
+        ctx: &mut impl SimCtx,
     ) {
         let mut cursor = now;
         for action in actions.drain(..) {
@@ -709,13 +875,11 @@ impl SystemModel {
                 DriverAction::Transmit(pkt) => {
                     let cost = self.tx_cost_ns(&pkt);
                     if let Some(core) = irq_core {
-                        cursor = self.nodes[node as usize]
-                            .host
-                            .occupy_irq(core, cursor, cost);
+                        cursor = self.rt(node).host.occupy_irq(core, cursor, cost);
                     } else {
                         cursor += TimeDelta::from_nanos(cost as i64);
                     }
-                    self.transmit_omx(cursor, pkt, sched);
+                    self.transmit_omx(cursor, pkt, ctx);
                 }
                 DriverAction::RecvComplete {
                     ep,
@@ -727,7 +891,7 @@ impl SystemModel {
                 } => {
                     let visible =
                         cursor + TimeDelta::from_nanos(self.cfg.host.costs.app_event_ns as i64);
-                    sched.schedule_at(
+                    ctx.schedule_at(
                         visible,
                         Ev::AppRecv {
                             node,
@@ -745,17 +909,17 @@ impl SystemModel {
                 DriverAction::SendComplete { ep, handle } => {
                     let visible =
                         cursor + TimeDelta::from_nanos(self.cfg.host.costs.app_event_ns as i64);
-                    sched.schedule_at(visible, Ev::AppSend { node, ep, handle });
+                    ctx.schedule_at(visible, Ev::AppSend { node, ep, handle });
                 }
                 DriverAction::ArmTimer { at } => {
-                    let rt = &mut self.nodes[node as usize];
+                    let rt = self.rt(node);
                     let need = match rt.driver_timer {
                         Some(armed) => at < armed,
                         None => true,
                     };
                     if need {
                         rt.driver_timer = Some(at);
-                        sched.schedule_at(at.max(now), Ev::DriverTimer { node });
+                        ctx.schedule_at(at.max(now), Ev::DriverTimer { node });
                     }
                 }
             }
@@ -768,7 +932,7 @@ impl SystemModel {
         node: u16,
         ep: u8,
         now: Time,
-        sched: &mut Scheduler<Ev>,
+        ctx: &mut impl SimCtx,
         f: impl FnOnce(&mut dyn Actor, &mut ActorCtx),
     ) {
         let Some(mut actor) = self.actors.remove(&(node, ep)) else {
@@ -776,7 +940,7 @@ impl SystemModel {
         };
         let blocking = actor.blocking_waits();
         let core = ep as usize % self.cfg.host.cores;
-        let core_irq_busy_ns = self.nodes[node as usize].host.irq_busy_total_ns(core);
+        let core_irq_busy_ns = self.rt(node).host.irq_busy_total_ns(core);
         let mut cmds = std::mem::take(&mut self.cmd_buf);
         cmds.clear();
         {
@@ -810,7 +974,7 @@ impl SystemModel {
                     match_info,
                     handle,
                 } => {
-                    self.sanitizer.on_send_posted(node, dst.node.0, len);
+                    ctx.san_send_posted(node, dst.node.0, len);
                     let eager_len = len.min(crate::wire::MEDIUM_MAX);
                     let frags = crate::wire::frag_count(eager_len, self.cfg.proto.mtu) as u64;
                     let cpu = costs.send_post_ns
@@ -818,7 +982,7 @@ impl SystemModel {
                         + costs.tx_copy_ns(eager_len);
                     cursor += TimeDelta::from_nanos(cpu as i64);
                     let mut actions = std::mem::take(&mut self.action_buf);
-                    self.nodes[node as usize].driver.post_send_into(
+                    self.rt(node).driver.post_send_into(
                         cursor,
                         ep,
                         dst,
@@ -827,7 +991,7 @@ impl SystemModel {
                         handle,
                         &mut actions,
                     );
-                    self.run_driver_actions(node, cursor, &mut actions, None, sched);
+                    self.run_driver_actions(node, cursor, &mut actions, None, ctx);
                     self.action_buf = actions;
                 }
                 ActorCmd::Recv {
@@ -837,7 +1001,7 @@ impl SystemModel {
                 } => {
                     cursor += TimeDelta::from_nanos(150);
                     let mut actions = std::mem::take(&mut self.action_buf);
-                    self.nodes[node as usize].driver.post_recv_into(
+                    self.rt(node).driver.post_recv_into(
                         cursor,
                         ep,
                         match_value,
@@ -845,15 +1009,15 @@ impl SystemModel {
                         handle,
                         &mut actions,
                     );
-                    self.run_driver_actions(node, cursor, &mut actions, None, sched);
+                    self.run_driver_actions(node, cursor, &mut actions, None, ctx);
                     self.action_buf = actions;
                 }
                 ActorCmd::Timer { at, token } => {
-                    sched.schedule_at(at.max(cursor), Ev::AppTimer { node, ep, token });
+                    ctx.schedule_at(at.max(cursor), Ev::AppTimer { node, ep, token });
                 }
                 ActorCmd::RawEthernet { dst, payload_len } => {
                     cursor += TimeDelta::from_nanos(costs.send_post_ns as i64);
-                    self.transmit_raw(cursor, node, dst, payload_len, sched);
+                    ctx.transmit_raw_wire(cursor, node, dst, payload_len);
                 }
                 ActorCmd::Stop => {
                     self.stop = true;
@@ -896,20 +1060,22 @@ fn channel_group(pkt: &Packet) -> u64 {
         + d.endpoint as u64
 }
 
-impl Model for SystemModel {
-    type Event = Ev;
-
-    fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+impl Shard {
+    /// Dispatch one event against this shard's node state. Every event is
+    /// node-local by construction (cross-node traffic only exists as wire
+    /// transmissions through the [`SimCtx`]), which is what lets the
+    /// parallel engine hand disjoint node ranges to different workers.
+    pub(crate) fn dispatch(&mut self, now: Time, event: Ev, ctx: &mut impl SimCtx) {
         match event {
             Ev::FrameArrival { node, pkt } => {
                 let meta = pkt.meta();
-                let out = self.nodes[node as usize].nic.on_frame(now, meta);
+                let out = self.rt(node).nic.on_frame(now, meta);
                 let desc = if out.dropped {
                     None
                 } else {
                     out.dma.map(|(d, _)| d)
                 };
-                self.trace(now, node, TraceKind::FrameArrival, || match pkt {
+                ctx.trace(now, node, TraceKind::FrameArrival, || match pkt {
                     WireFrame::Omx(p) => TraceData::Packet {
                         pkt: p,
                         desc: desc.map(|d| d.0),
@@ -917,28 +1083,28 @@ impl Model for SystemModel {
                     WireFrame::Raw { payload_len } => TraceData::RawFrame { len: payload_len },
                 });
                 if out.dropped {
-                    self.trace(now, node, TraceKind::Drop, || TraceData::Text("ring full"));
+                    ctx.trace(now, node, TraceKind::Drop, || TraceData::Text("ring full"));
                 } else if let Some((desc, _)) = out.dma {
-                    self.nodes[node as usize].dma_insert(now, desc, pkt);
+                    self.rt(node).dma_insert(now, desc, pkt);
                 }
-                self.apply_nic_outcome(node, now, out, sched);
+                self.apply_nic_outcome(node, now, out, ctx);
             }
             Ev::DmaComplete { node, desc } => {
-                let out = self.nodes[node as usize].nic.on_dma_complete(now, desc);
-                self.trace(now, node, TraceKind::DmaComplete, || TraceData::Desc {
+                let out = self.rt(node).nic.on_dma_complete(now, desc);
+                ctx.trace(now, node, TraceKind::DmaComplete, || TraceData::Desc {
                     desc: desc.0,
                 });
-                self.apply_nic_outcome(node, now, out, sched);
+                self.apply_nic_outcome(node, now, out, ctx);
             }
             Ev::CoalesceTimer { node, epoch } => {
-                self.nodes[node as usize].coalesce_timer_tok = None;
-                let out = self.nodes[node as usize].nic.on_timer(now, epoch);
+                self.rt(node).coalesce_timer_tok = None;
+                let out = self.rt(node).nic.on_timer(now, epoch);
                 if out != NicOutcome::default() {
-                    self.trace(now, node, TraceKind::CoalesceTimer, || TraceData::Epoch {
+                    ctx.trace(now, node, TraceKind::CoalesceTimer, || TraceData::Epoch {
                         epoch,
                     });
                 }
-                self.apply_nic_outcome(node, now, out, sched);
+                self.apply_nic_outcome(node, now, out, ctx);
             }
             Ev::IrqService { node, core } => {
                 // The handler reads the ring when it runs: claim everything
@@ -946,96 +1112,114 @@ impl Model for SystemModel {
                 // batch all land in recycled buffers — steady-state dispatch
                 // allocates nothing.
                 let mut ready = std::mem::take(&mut self.ready_scratch);
-                self.nodes[node as usize].nic.drain_ready_into(&mut ready);
+                self.rt(node).nic.drain_ready_into(&mut ready);
                 let mut frames = std::mem::take(&mut self.frame_scratch);
                 for r in &ready {
-                    frames.push(self.nodes[node as usize].dma_remove(now, r.desc));
+                    frames.push(self.rt(node).dma_remove(now, r.desc));
                 }
                 ready.clear();
                 self.ready_scratch = ready;
                 let dur = self.batch_duration(node, core, &frames);
-                let end = self.nodes[node as usize].host.occupy_irq(core, now, dur);
+                let end = self.rt(node).host.occupy_irq(core, now, dur);
                 let mut batch = self.batch_pool.pop().unwrap_or_default();
                 batch.extend(frames.drain(..).filter_map(|f| match f {
                     WireFrame::Omx(p) => Some(p),
                     WireFrame::Raw { .. } => None, // dropped by the stack
                 }));
                 self.frame_scratch = frames;
-                sched.schedule_at(end, Ev::BatchDone { node, core, batch });
+                ctx.schedule_at(end, Ev::BatchDone { node, core, batch });
             }
             Ev::BatchDone {
                 node,
                 core,
                 mut batch,
             } => {
-                self.trace(now, node, TraceKind::BatchDone, || TraceData::Batch {
+                ctx.trace(now, node, TraceKind::BatchDone, || TraceData::Batch {
                     core,
                     packets: batch.len() as u32,
                 });
                 // Handler done: re-enable interrupts first (NAPI exit), then
                 // hand the packets to the driver's protocol logic.
-                let out = self.nodes[node as usize].nic.enable_irq(now);
-                self.apply_nic_outcome(node, now, out, sched);
+                let out = self.rt(node).nic.enable_irq(now);
+                self.apply_nic_outcome(node, now, out, ctx);
                 let mut actions = std::mem::take(&mut self.action_buf);
                 for pkt in batch.drain(..) {
-                    self.nodes[node as usize]
+                    self.rt(node)
                         .driver
                         .handle_packet_into(now, pkt, &mut actions);
-                    self.run_driver_actions(node, now, &mut actions, Some(core), sched);
+                    self.run_driver_actions(node, now, &mut actions, Some(core), ctx);
                 }
                 self.action_buf = actions;
                 self.batch_pool.push(batch);
             }
             Ev::DriverTimer { node } => {
-                let rt = &mut self.nodes[node as usize];
+                let rt = self.rt(node);
                 rt.driver_timer = None;
                 let due = rt.driver.next_deadline().is_some_and(|d| d <= now);
                 if due {
                     let mut actions = std::mem::take(&mut self.action_buf);
-                    self.nodes[node as usize]
-                        .driver
-                        .on_timer_into(now, &mut actions);
-                    self.run_driver_actions(node, now, &mut actions, None, sched);
+                    self.rt(node).driver.on_timer_into(now, &mut actions);
+                    self.run_driver_actions(node, now, &mut actions, None, ctx);
                     self.action_buf = actions;
-                } else if let Some(d) = self.nodes[node as usize].driver.next_deadline() {
-                    let rt = &mut self.nodes[node as usize];
+                } else if let Some(d) = self.rt(node).driver.next_deadline() {
+                    let rt = self.rt(node);
                     rt.driver_timer = Some(d);
-                    sched.schedule_at(d, Ev::DriverTimer { node });
+                    ctx.schedule_at(d, Ev::DriverTimer { node });
                 }
             }
             Ev::ShmDeliver { node, pkt } => {
                 let mut actions = std::mem::take(&mut self.action_buf);
-                self.nodes[node as usize]
+                self.rt(node)
                     .driver
                     .handle_packet_into(now, pkt, &mut actions);
-                self.run_driver_actions(node, now, &mut actions, None, sched);
+                self.run_driver_actions(node, now, &mut actions, None, ctx);
                 self.action_buf = actions;
             }
             Ev::AppStart { node, ep } => {
-                self.with_actor(node, ep, now, sched, |a, ctx| a.on_start(ctx));
+                self.with_actor(node, ep, now, ctx, |a, actx| a.on_start(actx));
             }
             Ev::AppRecv { node, ep, c } => {
-                self.sanitizer
-                    .on_delivered(c.src.node.0, node, c.msg.0, c.len);
-                self.delivered_bytes[node as usize] += u64::from(c.len);
-                self.trace(now, node, TraceKind::AppDelivery, || TraceData::Recv {
+                ctx.san_delivered(c.src.node.0, node, c.msg.0, c.len);
+                self.delivered_bytes[(node - self.base) as usize] += u64::from(c.len);
+                ctx.trace(now, node, TraceKind::AppDelivery, || TraceData::Recv {
                     ep,
                     src: c.src.node.0,
                     msg: c.msg.0,
                     len: c.len,
                 });
-                self.with_actor(node, ep, now, sched, |a, ctx| a.on_recv_complete(ctx, c));
+                self.with_actor(node, ep, now, ctx, |a, actx| a.on_recv_complete(actx, c));
             }
             Ev::AppSend { node, ep, handle } => {
-                self.sanitizer.on_send_completed();
-                self.with_actor(node, ep, now, sched, |a, ctx| {
-                    a.on_send_complete(ctx, handle)
+                ctx.san_send_completed();
+                self.with_actor(node, ep, now, ctx, |a, actx| {
+                    a.on_send_complete(actx, handle)
                 });
             }
             Ev::AppTimer { node, ep, token } => {
-                self.with_actor(node, ep, now, sched, |a, ctx| a.on_timer(ctx, token));
+                self.with_actor(node, ep, now, ctx, |a, actx| a.on_timer(actx, token));
             }
         }
+    }
+}
+
+impl Model for SystemModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+        let SystemModel {
+            shard,
+            fabric,
+            tracer,
+            sanitizer,
+            ..
+        } = self;
+        let mut ctx = SerialCtx {
+            sched,
+            fabric,
+            tracer,
+            sanitizer,
+        };
+        shard.dispatch(now, event, &mut ctx);
     }
 
     fn tick(&mut self, now: Time) {
@@ -1049,8 +1233,8 @@ impl Model for SystemModel {
 
 /// A runnable simulated cluster.
 pub struct Cluster {
-    engine: Engine<SystemModel>,
-    started: bool,
+    pub(crate) engine: Engine<SystemModel>,
+    pub(crate) started: bool,
 }
 
 impl Cluster {
@@ -1081,21 +1265,24 @@ impl Cluster {
             .collect();
         let model_nodes = cfg.nodes;
         let model = SystemModel {
-            cfg,
-            nodes,
+            shard: Shard {
+                base: 0,
+                cfg,
+                nodes,
+                actors: HashMap::new(),
+                app_busy: HashMap::new(),
+                stop: false,
+                cmd_buf: Vec::new(),
+                action_buf: Vec::new(),
+                woken_scratch: Vec::new(),
+                ready_scratch: Vec::new(),
+                frame_scratch: Vec::new(),
+                batch_pool: Vec::new(),
+                delivered_bytes: vec![0; model_nodes],
+            },
             fabric,
-            actors: HashMap::new(),
-            app_busy: HashMap::new(),
-            stop: false,
-            cmd_buf: Vec::new(),
-            action_buf: Vec::new(),
-            woken_scratch: Vec::new(),
-            ready_scratch: Vec::new(),
-            frame_scratch: Vec::new(),
-            batch_pool: Vec::new(),
             tracer: None,
             telemetry: None,
-            delivered_bytes: vec![0; model_nodes],
             sanitizer: Sanitizer::default(),
         };
         Cluster {
@@ -1106,7 +1293,7 @@ impl Cluster {
 
     /// The configuration in force.
     pub fn config(&self) -> &ClusterConfig {
-        &self.engine.model().cfg
+        &self.engine.model().shard.cfg
     }
 
     /// Enable packet-level event tracing, keeping the last `capacity`
@@ -1127,7 +1314,7 @@ impl Cluster {
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
         let window_ns = cfg.window_ns;
         let model = self.engine.model_mut();
-        let nodes = model.cfg.nodes;
+        let nodes = model.shard.cfg.nodes;
         // One egress port per node in this fabric.
         model.telemetry = Some(Telemetry::new(cfg, nodes, nodes));
         self.engine.set_tick_period(window_ns);
@@ -1149,7 +1336,7 @@ impl Cluster {
     /// not expressible as a [`CoalescingStrategy`]).
     pub fn set_node_strategy(&mut self, node: u16, strategy: Box<dyn omx_nic::Coalescer>) {
         assert!(!self.started, "strategies must be set before the first run");
-        self.engine.model_mut().nodes[node as usize]
+        self.engine.model_mut().shard.nodes[node as usize]
             .nic
             .set_strategy(strategy);
     }
@@ -1160,21 +1347,21 @@ impl Cluster {
         assert!(!self.started, "actors must be added before the first run");
         let model = self.engine.model_mut();
         assert!(
-            (node as usize) < model.cfg.nodes,
+            (node as usize) < model.shard.cfg.nodes,
             "node {node} out of range"
         );
         assert!(
-            (ep as usize) < model.cfg.endpoints_per_node,
+            (ep as usize) < model.shard.cfg.endpoints_per_node,
             "endpoint {ep} out of range"
         );
         // Polling ranks keep their core busy (interrupts preempt them);
         // ranks that block in `mx_wait` leave it idle.
-        let core = ep as usize % model.cfg.host.cores;
+        let core = ep as usize % model.shard.cfg.host.cores;
         let polls = !actor.blocking_waits();
-        model.nodes[node as usize]
+        model.shard.nodes[node as usize]
             .host
             .set_app_active(core, polls, Time::ZERO);
-        let prev = model.actors.insert((node, ep), actor);
+        let prev = model.shard.actors.insert((node, ep), actor);
         assert!(
             prev.is_none(),
             "endpoint ({node}, {ep}) already has an actor"
@@ -1185,7 +1372,8 @@ impl Cluster {
     pub fn run(&mut self, horizon: Time) -> StopCondition {
         if !self.started {
             self.started = true;
-            let mut keys: Vec<(u16, u8)> = self.engine.model().actors.keys().copied().collect();
+            let mut keys: Vec<(u16, u8)> =
+                self.engine.model().shard.actors.keys().copied().collect();
             keys.sort_unstable();
             for (node, ep) in keys {
                 self.engine.prime(Time::ZERO, Ev::AppStart { node, ep });
@@ -1193,7 +1381,7 @@ impl Cluster {
         }
         let stop = self
             .engine
-            .run_until(horizon, u64::MAX, |m: &SystemModel| m.stop);
+            .run_until(horizon, u64::MAX, |m: &SystemModel| m.shard.stop);
         // Ticks only fire while events flow, so the tail of the run — from
         // the last aligned boundary to the final event — is still an open
         // window. Close it at the stop point (idempotent; skipped when the
@@ -1222,6 +1410,50 @@ impl Cluster {
         stop
     }
 
+    /// Run until quiescence or the horizon — [`Cluster::run`] without a
+    /// stop predicate — and eligible for the conservative parallel engine
+    /// (DESIGN §12) when [`omx_sim::pool::effective_sim_jobs`] exceeds 1.
+    ///
+    /// Observable output (metrics, telemetry, trace, sanitizer report) is
+    /// byte-identical to the serial engine at any worker count. Falls back
+    /// to the serial path when the run has already started, the cluster has
+    /// fewer than two nodes, or the fabric lookahead is zero (disturbance
+    /// jitter can cancel the minimum transit time).
+    ///
+    /// An actor calling `stop()` during a parallel drain panics — drain
+    /// workloads run to quiescence by construction. A horizon cut in
+    /// parallel mode discards in-flight events past the horizon (the serial
+    /// path keeps them queued for a follow-up `run`).
+    pub fn run_drain(&mut self, horizon: Time) -> StopCondition {
+        let jobs = omx_sim::pool::effective_sim_jobs();
+        let eligible = {
+            let m = self.engine.model();
+            !self.started
+                && jobs > 1
+                && m.shard.cfg.nodes >= 2
+                && m.fabric.config().lookahead_ns() > 0
+        };
+        if !eligible {
+            return self.run(horizon);
+        }
+        self.started = true;
+        let parts = jobs.min(self.engine.model().shard.cfg.nodes);
+        let stop = crate::par_run::drain_parallel(self, horizon, parts);
+        if stop == StopCondition::QueueEmpty {
+            let now = self.engine.now();
+            self.engine.model_mut().sample_telemetry(now);
+            if cfg!(debug_assertions) {
+                let report = self.sanitize();
+                assert!(
+                    report.violations.is_empty(),
+                    "sim sanitizer: liveness violations at quiescence:\n  {}",
+                    report.violations.join("\n  ")
+                );
+            }
+        }
+        stop
+    }
+
     /// Check the sim-sanitizer invariants against the current state: the
     /// run-time delivery accounting plus, per node, stranded protocol state
     /// ([`NodeDriver::pending_report`]) and NIC interrupt liveness
@@ -1232,7 +1464,7 @@ impl Cluster {
         let m = self.engine.model();
         let mut report = m.sanitizer.report();
         let mut pending = Vec::new();
-        for rt in &m.nodes {
+        for rt in &m.shard.nodes {
             rt.driver.pending_report(&mut pending);
         }
         report.violations.extend(
@@ -1240,7 +1472,7 @@ impl Cluster {
                 .drain(..)
                 .map(|e| format!("stranded message [{}]: {}", e.phase, e.detail)),
         );
-        for (i, rt) in m.nodes.iter().enumerate() {
+        for (i, rt) in m.shard.nodes.iter().enumerate() {
             let owed = rt.nic.pending_work();
             if owed > 0 {
                 report.violations.push(format!(
@@ -1271,6 +1503,7 @@ impl Cluster {
     pub fn actor<T: Actor>(&self, node: u16, ep: u8) -> Option<&T> {
         self.engine
             .model()
+            .shard
             .actors
             .get(&(node, ep))
             .and_then(|a| a.as_any().downcast_ref::<T>())
@@ -1292,10 +1525,11 @@ impl Cluster {
             frames_dropped: m.fabric.frames_dropped(),
             switch_drops: m.fabric.switch_drops(),
             switch_occupancy_peak: m.fabric.switch_occupancy_peak(),
-            switch_queue_depth: (0..m.cfg.nodes)
+            switch_queue_depth: (0..m.shard.cfg.nodes)
                 .map(|p| m.fabric.switch_queue_depth_at(PortId(p)).finalized(now))
                 .collect(),
             nodes: m
+                .shard
                 .nodes
                 .iter()
                 .map(|n| NodeMetrics {
@@ -1313,6 +1547,7 @@ impl Cluster {
     pub fn total_interrupts(&self) -> u64 {
         self.engine
             .model()
+            .shard
             .nodes
             .iter()
             .map(|n| n.nic.counters().interrupts.get())

@@ -1,0 +1,837 @@
+//! Substrate for the conservative parallel DES core: lineage stamps, the
+//! partition-local event queue, a spin barrier, and the epoch-boundary
+//! merge that reconstructs the *exact* serial dispatch order.
+//!
+//! # Why a plain per-shard `(time, local seq)` queue is not enough
+//!
+//! The serial [`EventQueue`](crate::queue::EventQueue) orders simultaneous
+//! events by a **global push sequence**: pushes happen during dispatches, in
+//! dispatch order, so the serial tiebreak is lexicographic
+//! `(parent dispatch order, intra-dispatch push index)`. A parallel worker
+//! processing only its own shard cannot know the *global* dispatch order of
+//! the current epoch while the epoch is still running — a cross-shard frame
+//! merged in at the last barrier may have been pushed by a dispatch that
+//! serially precedes a local dispatch of the same timestamp, in which case
+//! its children must win ties against the local dispatch's children. Any
+//! scheme that numbers pushes per-shard gets that case wrong.
+//!
+//! # Lineage stamps
+//!
+//! Instead, every dispatch mints a [`Stamp`] and every pushed event carries
+//! a [`Key`] = `(parent stamp, intra-dispatch push index)`. Stamps start
+//! *unresolved*; the barrier merge assigns each one its global dispatch
+//! ordinal (exactly the value the serial engine's dispatch counter would
+//! have had). The serial tiebreak `(parent ordinal, push index)` is then
+//! directly computable. The trick that makes this work *before* resolution
+//! is that a worker never needs an ordinal it cannot know:
+//!
+//! * entries with **resolved** parents (previous epochs, the root, or
+//!   barrier-merged arrivals) compare by parent ordinal — final;
+//! * a resolved parent always precedes an unresolved one (unresolved
+//!   stamps belong to the current epoch; resolved ones dispatched earlier);
+//! * two **unresolved** parents are necessarily from the *same* shard
+//!   (cross-shard pushes only happen at barriers, with resolved stamps),
+//!   where per-shard dispatch order — [`Stamp::local_seq`] — *is* the
+//!   serial order restricted to that shard.
+//!
+//! Resolution therefore never reorders entries that coexist in a shard
+//! queue: within a shard, ordinals are assigned in `local_seq` order, and a
+//! newly resolved stamp receives an ordinal larger than every previously
+//! resolved one. The heap invariant survives the in-place `AtomicU64`
+//! store.
+//!
+//! # Epoch merge
+//!
+//! [`merge_order`] is a Kahn-style topological replay: dispatch records
+//! whose parent is already resolved seed a ready-heap keyed by
+//! `(time, parent ordinal, push index)`; popping the minimum assigns the
+//! next global ordinal and releases that dispatch's children. The pop
+//! sequence equals the serial engine's dispatch sequence for the epoch —
+//! the proof is an induction: the serially-next record's parent either
+//! resolved before the epoch or dispatched earlier within it (hence
+//! already popped), so the record is in the heap, and every other ready
+//! record carries a serially-larger key.
+
+use crate::queue::EventToken;
+use crate::time::Time;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtOrd};
+use std::sync::Arc;
+
+/// Sentinel ordinal for a stamp whose global dispatch order is not yet
+/// known (its epoch has not reached the barrier merge).
+pub const UNRESOLVED: u64 = u64::MAX;
+
+/// Identity of one dispatch (one event pop) in the parallel engine.
+///
+/// Created by the worker that pops the event; resolved to the global
+/// dispatch ordinal by the coordinator during [`merge_order`]. Shared via
+/// `Arc` between the dispatch record and every event the dispatch pushed.
+#[derive(Debug)]
+pub struct Stamp {
+    /// Simulated time of the dispatch.
+    pub time: Time,
+    /// Shard (partition index) the dispatch ran on; `u32::MAX` for the root.
+    pub shard: u32,
+    /// Per-shard dispatch counter, monotonically increasing over the whole
+    /// run — the serial dispatch order restricted to this shard.
+    pub local_seq: u64,
+    ord: AtomicU64,
+}
+
+impl Stamp {
+    /// A fresh, unresolved stamp for a dispatch on `shard` at `time`.
+    pub fn new(time: Time, shard: u32, local_seq: u64) -> Arc<Stamp> {
+        Arc::new(Stamp {
+            time,
+            shard,
+            local_seq,
+            ord: AtomicU64::new(UNRESOLVED),
+        })
+    }
+
+    /// The pre-resolved root stamp: parent of events primed before the
+    /// simulation starts (ordinal 0, i.e. before every real dispatch).
+    pub fn root() -> Arc<Stamp> {
+        Arc::new(Stamp {
+            time: Time::ZERO,
+            shard: u32::MAX,
+            local_seq: 0,
+            ord: AtomicU64::new(0),
+        })
+    }
+
+    /// The global dispatch ordinal, or [`UNRESOLVED`].
+    #[inline]
+    pub fn ord(&self) -> u64 {
+        self.ord.load(AtOrd::Acquire)
+    }
+
+    /// Assign the global dispatch ordinal (coordinator only, at the barrier).
+    #[inline]
+    pub fn resolve(&self, ord: u64) {
+        debug_assert_ne!(ord, UNRESOLVED);
+        let prev = self.ord.swap(ord, AtOrd::Release);
+        debug_assert_eq!(prev, UNRESOLVED, "stamp resolved twice");
+    }
+}
+
+/// Ordering key of a queued event: which dispatch pushed it, and at which
+/// position within that dispatch's program order.
+///
+/// `idx` counts *every* push intent of the dispatch — local schedules and
+/// cross-shard transmit intents alike — because the serial engine's global
+/// push counter advances for each of them.
+#[derive(Debug, Clone)]
+pub struct Key {
+    /// Stamp of the dispatch that pushed this event.
+    pub parent: Arc<Stamp>,
+    /// Position of this push within the parent dispatch's program order.
+    pub idx: u32,
+}
+
+impl Key {
+    /// Serial-order comparison of two same-timestamp events (see the
+    /// module docs for why this is computable before full resolution).
+    pub fn cmp_key(&self, other: &Key) -> Ordering {
+        if Arc::ptr_eq(&self.parent, &other.parent) {
+            return self.idx.cmp(&other.idx);
+        }
+        let (a, b) = (self.parent.ord(), other.parent.ord());
+        let parents = match (a == UNRESOLVED, b == UNRESOLVED) {
+            (false, false) => a.cmp(&b),
+            // Resolved stamps dispatched in an earlier epoch (or are the
+            // root): serially before any current-epoch dispatch.
+            (false, true) => Ordering::Less,
+            (true, false) => Ordering::Greater,
+            (true, true) => {
+                // Two in-flight dispatches can only meet in one shard's
+                // queue if they ran on that shard.
+                debug_assert_eq!(
+                    self.parent.shard, other.parent.shard,
+                    "unresolved stamps from different shards in one queue"
+                );
+                self.parent.local_seq.cmp(&other.parent.local_seq)
+            }
+        };
+        parents.then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+enum Loc {
+    Free { next: u32 },
+    Heap { pos: u32 },
+}
+
+struct Slot<E> {
+    gen: u32,
+    loc: Loc,
+    time: Time,
+    entry: Option<(Key, E)>,
+}
+
+/// Partition-local event queue for one shard of the parallel engine.
+///
+/// A slab-backed binary heap ordered by `(time, `[`Key`]`)` — the serial
+/// dispatch order restricted to the shard. Hands out generation-stamped
+/// [`EventToken`]s with the same cancel-safety contract as
+/// [`EventQueue`](crate::queue::EventQueue) (the NIC coalescing timer
+/// re-arm path cancels through the same token type in either mode).
+pub struct ParQueue<E> {
+    slots: Vec<Slot<E>>,
+    free_head: u32,
+    heap: Vec<u32>,
+}
+
+impl<E> Default for ParQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ParQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ParQueue {
+            slots: Vec::new(),
+            free_head: NIL,
+            heap: Vec::new(),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The earliest queued time, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.first().map(|&s| self.slots[s as usize].time)
+    }
+
+    /// Queue `event` at `time` with serial-order key `key`.
+    pub fn push(&mut self, time: Time, key: Key, event: E) -> EventToken {
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            match s.loc {
+                Loc::Free { next } => self.free_head = next,
+                Loc::Heap { .. } => unreachable!("free-list slot marked live"),
+            }
+            s.time = time;
+            s.entry = Some((key, event));
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                loc: Loc::Free { next: NIL },
+                time,
+                entry: Some((key, event)),
+            });
+            slot
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].loc = Loc::Heap { pos: pos as u32 };
+        self.sift_up(pos);
+        EventToken::from_parts(slot, self.slots[slot as usize].gen)
+    }
+
+    /// Remove and return the `(time, Key)`-minimal event.
+    pub fn pop(&mut self) -> Option<(Time, Key, E)> {
+        let &slot = self.heap.first()?;
+        self.heap_remove(0);
+        let s = &mut self.slots[slot as usize];
+        let time = s.time;
+        let (key, event) = s.entry.take().expect("heap slot without entry");
+        Self::free_slot(s, slot, &mut self.free_head);
+        Some((time, key, event))
+    }
+
+    /// Cancel a queued event. Returns `false` for tokens whose event has
+    /// already fired or been cancelled (generation mismatch), `true` on
+    /// successful removal.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        let (slot, gen) = token.parts();
+        let Some(s) = self.slots.get(slot as usize) else {
+            return false;
+        };
+        if s.gen != gen {
+            return false;
+        }
+        let pos = match s.loc {
+            Loc::Heap { pos } => pos as usize,
+            Loc::Free { .. } => return false,
+        };
+        self.heap_remove(pos);
+        let s = &mut self.slots[slot as usize];
+        s.entry = None;
+        Self::free_slot(s, slot, &mut self.free_head);
+        true
+    }
+
+    fn free_slot(s: &mut Slot<E>, slot: u32, free_head: &mut u32) {
+        s.gen = s.gen.wrapping_add(1);
+        s.loc = Loc::Free { next: *free_head };
+        *free_head = slot;
+    }
+
+    /// Remove the heap entry at `pos`, restoring the invariant.
+    fn heap_remove(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < self.heap.len() {
+            self.set_pos(pos);
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+    }
+
+    #[inline]
+    fn set_pos(&mut self, pos: usize) {
+        let slot = self.heap[pos];
+        self.slots[slot as usize].loc = Loc::Heap { pos: pos as u32 };
+    }
+
+    /// `(time, Key)` strict-less between two live slots.
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.slots[a as usize], &self.slots[b as usize]);
+        match sa.time.cmp(&sb.time) {
+            Ordering::Equal => {
+                let ka = &sa.entry.as_ref().expect("live slot without entry").0;
+                let kb = &sb.entry.as_ref().expect("live slot without entry").0;
+                ka.cmp_key(kb) == Ordering::Less
+            }
+            o => o == Ordering::Less,
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.less(self.heap[pos], self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                self.set_pos(pos);
+                self.set_pos(parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut min = left;
+            if right < self.heap.len() && self.less(self.heap[right], self.heap[left]) {
+                min = right;
+            }
+            if self.less(self.heap[min], self.heap[pos]) {
+                self.heap.swap(min, pos);
+                self.set_pos(min);
+                self.set_pos(pos);
+                pos = min;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// A reusable sense-reversing spin barrier for the epoch protocol.
+///
+/// Participants spin briefly (the epochs are microseconds of real time
+/// apart when the engine is healthy) and then fall back to
+/// `thread::yield_now` so oversubscribed hosts — including the degenerate
+/// single-core case — still make progress.
+pub struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    gen: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier for `total` participants (> 0).
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0);
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block until all `total` participants have called `wait`.
+    pub fn wait(&self) {
+        // Spinning only helps when the straggler can run on another core;
+        // on a single-core host the peer cannot progress until we yield,
+        // so a nonzero spin budget just burns the scheduler quantum.
+        static SPIN_LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        let limit = *SPIN_LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => 1 << 14,
+            _ => 0,
+        });
+        let gen = self.gen.load(AtOrd::Acquire);
+        if self.count.fetch_add(1, AtOrd::AcqRel) + 1 == self.total {
+            self.count.store(0, AtOrd::Relaxed);
+            self.gen.fetch_add(1, AtOrd::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(AtOrd::Acquire) == gen {
+                if spins < limit {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One dispatch record, appended by a worker for every event it pops
+/// during an epoch, in pop order.
+#[derive(Debug, Clone)]
+pub struct Rec {
+    /// The stamp minted for this dispatch (resolved by [`merge_order`]).
+    pub stamp: Arc<Stamp>,
+    /// Stamp of the dispatch that pushed the popped event.
+    pub parent: Arc<Stamp>,
+    /// Push index of the popped event within its parent dispatch.
+    pub parent_idx: u32,
+}
+
+/// Replay one epoch's dispatch records from all shards in exact serial
+/// dispatch order, resolving each record's stamp to its global ordinal.
+///
+/// `shards[s]` is shard `s`'s records in pop order. `next_ord` is the
+/// global dispatch counter (continues across epochs; the root stamp owns
+/// ordinal 0, so it starts at 1). `visit(s, i, rec)` is called once per
+/// record, in serial dispatch order, *after* `rec.stamp` is resolved — the
+/// coordinator uses it to replay side effects (transmit intents, trace and
+/// sanitizer records) in the order the serial engine would have produced
+/// them.
+///
+/// Panics if the records do not form a consistent epoch (a record's
+/// unresolved parent must itself be a record of this epoch).
+pub fn merge_order(
+    shards: &[Vec<Rec>],
+    next_ord: &mut u64,
+    mut visit: impl FnMut(usize, usize, &Rec),
+) {
+    let total: usize = shards.iter().map(Vec::len).sum();
+    if total == 0 {
+        return;
+    }
+    // Records whose parent dispatch is itself part of this epoch, keyed by
+    // the parent's (shard, local_seq) identity; released when it resolves.
+    let mut children: HashMap<(u32, u64), Vec<(u32, u32)>> = HashMap::new();
+    // Ready records, keyed by the serial pop order (time, parent ordinal,
+    // push index). The (shard, index) tail is never reached by distinct
+    // records — a (parent, idx) pair identifies one pushed event.
+    type ReadyKey = (u64, u64, u32, u32, u32);
+    let mut ready: BinaryHeap<Reverse<ReadyKey>> = BinaryHeap::new();
+    for (s, recs) in shards.iter().enumerate() {
+        for (i, rec) in recs.iter().enumerate() {
+            debug_assert_eq!(rec.stamp.shard as usize, s);
+            let pord = rec.parent.ord();
+            if pord == UNRESOLVED {
+                children
+                    .entry((rec.parent.shard, rec.parent.local_seq))
+                    .or_default()
+                    .push((s as u32, i as u32));
+            } else {
+                ready.push(Reverse((
+                    rec.stamp.time.as_nanos(),
+                    pord,
+                    rec.parent_idx,
+                    s as u32,
+                    i as u32,
+                )));
+            }
+        }
+    }
+    let mut visited = 0usize;
+    #[cfg(debug_assertions)]
+    let mut cursors = vec![0usize; shards.len()];
+    while let Some(Reverse((_, _, _, s, i))) = ready.pop() {
+        let (s, i) = (s as usize, i as usize);
+        let rec = &shards[s][i];
+        #[cfg(debug_assertions)]
+        {
+            // Serial order restricted to one shard is that shard's pop order.
+            assert_eq!(cursors[s], i, "merge visited shard {s} out of pop order");
+            cursors[s] += 1;
+        }
+        rec.stamp.resolve(*next_ord);
+        visit(s, i, rec);
+        let ord = *next_ord;
+        *next_ord += 1;
+        visited += 1;
+        if let Some(kids) = children.remove(&(rec.stamp.shard, rec.stamp.local_seq)) {
+            for (cs, ci) in kids {
+                let child = &shards[cs as usize][ci as usize];
+                ready.push(Reverse((
+                    child.stamp.time.as_nanos(),
+                    ord,
+                    child.parent_idx,
+                    cs,
+                    ci,
+                )));
+            }
+        }
+    }
+    assert_eq!(
+        visited, total,
+        "epoch merge did not visit every dispatch record (dangling parent?)"
+    );
+    debug_assert!(children.is_empty());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    #[test]
+    fn key_orders_by_parent_then_idx() {
+        let root = Stamp::root();
+        let a = Key {
+            parent: root.clone(),
+            idx: 0,
+        };
+        let b = Key {
+            parent: root.clone(),
+            idx: 3,
+        };
+        assert_eq!(a.cmp_key(&b), Ordering::Less);
+        assert_eq!(b.cmp_key(&a), Ordering::Greater);
+        assert_eq!(a.cmp_key(&a), Ordering::Equal);
+
+        // Resolved (earlier epoch) beats unresolved (current epoch)…
+        let resolved = Stamp::new(Time::from_nanos(50), 1, 7);
+        resolved.resolve(12);
+        let unresolved = Stamp::new(Time::from_nanos(10), 1, 9);
+        let r = Key {
+            parent: resolved.clone(),
+            idx: 9,
+        };
+        let u = Key {
+            parent: unresolved.clone(),
+            idx: 0,
+        };
+        assert_eq!(r.cmp_key(&u), Ordering::Less);
+        assert_eq!(u.cmp_key(&r), Ordering::Greater);
+
+        // …two unresolved same-shard stamps order by local dispatch order…
+        let u2 = Key {
+            parent: Stamp::new(Time::from_nanos(10), 1, 8),
+            idx: 5,
+        };
+        assert_eq!(u2.cmp_key(&u), Ordering::Less);
+
+        // …and resolution to a later ordinal preserves that order.
+        u2.parent.resolve(20);
+        unresolved.resolve(21);
+        assert_eq!(u2.cmp_key(&u), Ordering::Less);
+        assert_eq!(r.cmp_key(&u), Ordering::Less);
+    }
+
+    #[test]
+    fn par_queue_pops_in_time_then_key_order() {
+        let root = Stamp::root();
+        let mut q: ParQueue<&'static str> = ParQueue::new();
+        let key = |idx| Key {
+            parent: root.clone(),
+            idx,
+        };
+        q.push(Time::from_nanos(30), key(0), "t30");
+        q.push(Time::from_nanos(10), key(3), "t10-idx3");
+        q.push(Time::from_nanos(10), key(1), "t10-idx1");
+        q.push(Time::from_nanos(20), key(2), "t20");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(10)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, ["t10-idx1", "t10-idx3", "t20", "t30"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn par_queue_cancel_rejects_stale_tokens() {
+        let root = Stamp::root();
+        let mut q: ParQueue<u32> = ParQueue::new();
+        let key = |idx| Key {
+            parent: root.clone(),
+            idx,
+        };
+        let t1 = q.push(Time::from_nanos(5), key(0), 1);
+        let t2 = q.push(Time::from_nanos(1), key(1), 2);
+        assert!(q.cancel(t1), "live token cancels");
+        assert!(!q.cancel(t1), "second cancel is rejected");
+        // Slot reuse bumps the generation: the old token must not cancel
+        // the new occupant.
+        let t3 = q.push(Time::from_nanos(9), key(2), 3);
+        assert!(!q.cancel(t1));
+        let (_, _, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert!(!q.cancel(t2), "popped event's token is dead");
+        assert!(q.cancel(t3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        use std::sync::atomic::AtomicU64;
+        const THREADS: usize = 3;
+        const ROUNDS: u64 = 50;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, AtOrd::Relaxed);
+                        barrier.wait();
+                        // Every participant incremented before anyone left.
+                        let seen = counter.load(AtOrd::Relaxed);
+                        assert!(seen >= (round + 1) * THREADS as u64);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(AtOrd::Relaxed), ROUNDS * THREADS as u64);
+    }
+
+    #[test]
+    fn merge_order_releases_children_after_parents() {
+        // Shard 0 pops A (parent root, idx 1); shard 1 pops B (parent root,
+        // idx 0) and then C whose parent is A — C must come after A even
+        // though all three share a timestamp.
+        let root = Stamp::root();
+        let t = Time::from_nanos(100);
+        let a = Stamp::new(t, 0, 0);
+        let b = Stamp::new(t, 1, 0);
+        let c = Stamp::new(t, 1, 1);
+        let shards = vec![
+            vec![Rec {
+                stamp: a.clone(),
+                parent: root.clone(),
+                parent_idx: 1,
+            }],
+            vec![
+                Rec {
+                    stamp: b.clone(),
+                    parent: root.clone(),
+                    parent_idx: 0,
+                },
+                Rec {
+                    stamp: c.clone(),
+                    parent: a.clone(),
+                    parent_idx: 0,
+                },
+            ],
+        ];
+        let mut next_ord = 1;
+        let mut order = Vec::new();
+        merge_order(&shards, &mut next_ord, |s, i, _| order.push((s, i)));
+        assert_eq!(order, [(1, 0), (0, 0), (1, 1)], "B (idx 0), A (idx 1), C");
+        assert_eq!((b.ord(), a.ord(), c.ord()), (1, 2, 3));
+        assert_eq!(next_ord, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Toy-model equivalence: a miniature conservative-parallel simulation
+    // run epoch-by-epoch through ParQueue + merge_order must dispatch in
+    // exactly the serial EventQueue order, including same-timestamp ties.
+    // ------------------------------------------------------------------
+
+    const LOOKAHEAD: u64 = 10;
+    const MAX_DEPTH: u32 = 6;
+
+    fn xorshift(mut x: u64) -> u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+
+    /// Deterministic children of a dispatched toy event, in program order:
+    /// `(dest shard, delay, child id)`. Same-shard children land 0–2 ns
+    /// out (heavy same-timestamp ties, including zero-delay self-pushes);
+    /// cross-shard children respect the lookahead, like fabric transit.
+    fn children(id: u64, depth: u32, shard: u32, parts: u32) -> Vec<(u32, u64, u64)> {
+        if depth >= MAX_DEPTH {
+            return Vec::new();
+        }
+        let mut r = xorshift(id ^ 0x9E37_79B9_7F4A_7C15);
+        let n = r % 4;
+        let mut out = Vec::new();
+        for k in 0..n {
+            r = xorshift(r.wrapping_add(k + 1));
+            let dest = (r % parts as u64) as u32;
+            r = xorshift(r);
+            let delay = if dest == shard {
+                r % 3
+            } else {
+                LOOKAHEAD + r % 5
+            };
+            out.push((
+                dest,
+                delay,
+                xorshift(id.wrapping_mul(31).wrapping_add(k + 1)),
+            ));
+        }
+        out
+    }
+
+    /// Serial reference: one EventQueue, dispatch log of `(ns, shard, id)`.
+    fn serial_log(parts: u32, seeds: &[(u32, u64)]) -> Vec<(u64, u32, u64)> {
+        let mut q = EventQueue::new();
+        for &(shard, id) in seeds {
+            q.push(Time::ZERO, (shard, id, 0u32));
+        }
+        let mut log = Vec::new();
+        while let Some((t, (shard, id, depth))) = q.pop() {
+            log.push((t.as_nanos(), shard, id));
+            for (dest, delay, cid) in children(id, depth, shard, parts) {
+                q.push(
+                    Time::from_nanos(t.as_nanos() + delay),
+                    (dest, cid, depth + 1),
+                );
+            }
+        }
+        log
+    }
+
+    /// Parallel model: per-shard ParQueues advanced in lookahead-wide
+    /// epochs, cross-shard sends buffered as intents and replayed at the
+    /// barrier in merge order — the exact structure of the real engine's
+    /// coordinator, minus the threads.
+    fn parallel_log(parts: u32, seeds: &[(u32, u64)]) -> Vec<(u64, u32, u64)> {
+        struct ShardRt {
+            queue: ParQueue<(u64, u32)>,
+            next_local_seq: u64,
+        }
+        let root = Stamp::root();
+        let mut shards: Vec<ShardRt> = (0..parts)
+            .map(|_| ShardRt {
+                queue: ParQueue::new(),
+                next_local_seq: 0,
+            })
+            .collect();
+        for (i, &(shard, id)) in seeds.iter().enumerate() {
+            shards[shard as usize].queue.push(
+                Time::ZERO,
+                Key {
+                    parent: root.clone(),
+                    idx: i as u32,
+                },
+                (id, 0),
+            );
+        }
+        // One cross-shard intent: `(dest, at, child id, depth, push idx)`.
+        type Intent = (u32, Time, u64, u32, u32);
+        let mut next_ord = 1u64;
+        let mut log = Vec::new();
+        while let Some(t0) = shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            let epoch_end = Time::from_nanos(t0.as_nanos() + LOOKAHEAD);
+            let mut recs: Vec<Vec<Rec>> = (0..parts).map(|_| Vec::new()).collect();
+            // Per shard, per record: the dispatch payload and its intents.
+            let mut payloads: Vec<Vec<(u64, u64)>> = (0..parts).map(|_| Vec::new()).collect();
+            let mut intents: Vec<Vec<Vec<Intent>>> = (0..parts).map(|_| Vec::new()).collect();
+            for (sid, st) in shards.iter_mut().enumerate() {
+                while st.queue.peek_time().is_some_and(|t| t < epoch_end) {
+                    let (t, key, (id, depth)) = st.queue.pop().unwrap();
+                    let stamp = Stamp::new(t, sid as u32, st.next_local_seq);
+                    st.next_local_seq += 1;
+                    let mut my_intents = Vec::new();
+                    for (idx, (dest, delay, cid)) in children(id, depth, sid as u32, parts)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        let at = Time::from_nanos(t.as_nanos() + delay);
+                        if dest == sid as u32 {
+                            st.queue.push(
+                                at,
+                                Key {
+                                    parent: stamp.clone(),
+                                    idx: idx as u32,
+                                },
+                                (cid, depth + 1),
+                            );
+                        } else {
+                            my_intents.push((dest, at, cid, depth + 1, idx as u32));
+                        }
+                    }
+                    payloads[sid].push((t.as_nanos(), id));
+                    intents[sid].push(my_intents);
+                    recs[sid].push(Rec {
+                        stamp,
+                        parent: key.parent,
+                        parent_idx: key.idx,
+                    });
+                }
+            }
+            merge_order(&recs, &mut next_ord, |s, i, rec| {
+                let (ns, id) = payloads[s][i];
+                log.push((ns, s as u32, id));
+                for &(dest, at, cid, depth, idx) in &intents[s][i] {
+                    assert!(at >= epoch_end, "cross-shard send violated lookahead");
+                    shards[dest as usize].queue.push(
+                        at,
+                        Key {
+                            parent: rec.stamp.clone(),
+                            idx,
+                        },
+                        (cid, depth),
+                    );
+                }
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn same_timestamp_events_keep_serial_order_across_epochs() {
+        for parts in [2u32, 3, 5] {
+            for trial in 0u64..4 {
+                let seeds: Vec<(u32, u64)> = (0..parts * 2)
+                    .map(|i| (i % parts, xorshift(0xDEAD_BEEF + trial * 1000 + i as u64)))
+                    .collect();
+                let serial = serial_log(parts, &seeds);
+                let parallel = parallel_log(parts, &seeds);
+                assert!(
+                    serial.len() > 50,
+                    "toy model too small to be meaningful ({} dispatches)",
+                    serial.len()
+                );
+                let ties = serial.windows(2).filter(|w| w[0].0 == w[1].0).count();
+                assert!(
+                    ties > 10,
+                    "toy model produced too few same-timestamp ties ({ties})"
+                );
+                assert_eq!(
+                    serial, parallel,
+                    "parallel dispatch order diverged (parts={parts}, trial={trial})"
+                );
+            }
+        }
+    }
+}

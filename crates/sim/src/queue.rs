@@ -59,6 +59,22 @@ pub struct EventToken {
     gen: u32,
 }
 
+impl EventToken {
+    /// Assemble a token from its raw slab coordinates. Reserved for sibling
+    /// queue implementations (the partition-local [`crate::par::ParQueue`])
+    /// that hand out tokens with the same cancel-safety contract.
+    #[inline]
+    pub(crate) fn from_parts(slot: u32, gen: u32) -> Self {
+        EventToken { slot, gen }
+    }
+
+    /// The raw `(slot, gen)` coordinates, inverse of [`EventToken::from_parts`].
+    #[inline]
+    pub(crate) fn parts(self) -> (u32, u32) {
+        (self.slot, self.gen)
+    }
+}
+
 /// Where a live event currently resides.
 #[derive(Debug, Clone, Copy)]
 enum Loc {
