@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod jumbo;
 pub mod multiqueue;
 pub mod nas;
+pub mod offload;
 pub mod overhead;
 pub mod pingpong;
 pub mod scale;

@@ -20,6 +20,8 @@
 //!                      ring overflow, sanitizer invariants (beyond paper)
 //!   scale              collectives on 4-64 switched nodes × strategy, with
 //!                      bounded switch egress buffers (beyond paper)
+//!   offload            NIC-resident collectives head-to-head vs the five
+//!                      host coalescing strategies (beyond paper)
 //!   adaptive           adaptive coalescing comparison (§VI)
 //!   coexistence        TCP/IP non-interference check (§IV/§VI)
 //!   multiqueue         flow-hashed IRQ steering (§VI future work)
@@ -67,8 +69,8 @@
 //! produces.
 
 use omx_bench::experiments::{
-    adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, overhead, pingpong, scale,
-    sensitivity, table1, table2, table3,
+    adaptive, coexistence, faults, fig4, jumbo, multiqueue, nas, offload, overhead, pingpong,
+    scale, sensitivity, table1, table2, table3,
 };
 use omx_bench::write_json;
 
@@ -108,6 +110,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "scale",
         "collectives on 4-64 switched nodes × strategy (beyond paper)",
+    ),
+    (
+        "offload",
+        "NIC-resident collectives vs host coalescing (beyond paper)",
     ),
     ("adaptive", "adaptive coalescing comparison (§VI)"),
     ("coexistence", "TCP/IP non-interference check (§IV/§VI)"),
@@ -227,6 +233,7 @@ fn main() {
         "table5" => run_nas("is."),
         "faults" => run_faults(quick, slo),
         "scale" => run_scale(quick, slo),
+        "offload" => run_offload(quick),
         "adaptive" => run_adaptive(quick),
         "coexistence" => run_coexistence(),
         "multiqueue" => run_multiqueue(),
@@ -248,6 +255,7 @@ fn main() {
             run_sensitivity(quick);
             run_faults(quick, slo);
             run_scale(quick, slo);
+            run_offload(quick);
             run_nas(if quick { "is." } else { "" });
         }
         other => {
@@ -506,6 +514,32 @@ fn run_scale(quick: bool, slo: bool) {
             .sum::<u64>()
     );
     persist("scale JSON", write_json("scale", &result));
+}
+
+fn run_offload(quick: bool) {
+    println!("== NIC-resident collectives vs host coalescing ==");
+    let result = offload::run(quick);
+    println!("{}", offload::table(&result).render());
+    let off = |f: fn(&offload::OffloadCell) -> u64| {
+        result
+            .cells
+            .iter()
+            .filter(|c| c.mode == offload::OFFLOAD_MODE)
+            .map(f)
+            .sum::<u64>()
+    };
+    println!(
+        "{} cells, {} offloaded ops ({} completed), {} sanitizer violations",
+        result.cells.len(),
+        off(|c| c.offload.ops_posted),
+        off(|c| c.offload.ops_completed),
+        result
+            .cells
+            .iter()
+            .map(|c| c.sanitizer_violations)
+            .sum::<u64>()
+    );
+    persist("offload JSON", write_json("offload", &result));
 }
 
 fn run_adaptive(quick: bool) {

@@ -53,6 +53,16 @@
 //!   sanitizer_violations}]}`: collectives on 4–64 switched nodes with
 //!   bounded switch egress buffers (see
 //!   [`crate::experiments::scale`]).
+//! - `offload.json` — `{cells: [{collective, bytes, nodes, ranks, mode,
+//!   iterations, completion_ns, total_interrupts, interrupts_per_node,
+//!   retransmits, offload: {ops_posted, ops_completed, data_tx, data_rx,
+//!   acks_tx, acks_rx, retransmits, duplicates, combines},
+//!   sanitizer_violations, slo: {count, mean_ns, p50_ns, p99_ns,
+//!   p999_ns}}]}`: NIC-resident collectives head-to-head against the five
+//!   host coalescing strategies on 4–64 nodes. `mode` is a strategy label
+//!   or `nic-offload`; the nested `offload` object is the NIC engine's
+//!   counter block summed over nodes (all zero in host modes), and `slo`
+//!   is always present (see [`crate::experiments::offload`]).
 //!
 //! Under `--slo`, `faults.json` and `scale.json` cells additionally carry
 //! `slo: {count, mean_ns, p50_ns, p99_ns, p999_ns}` (message / collective

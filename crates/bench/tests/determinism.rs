@@ -68,3 +68,39 @@ fn scale_quick_report_is_byte_identical_across_runs() {
     let b = scale::run(true, false).to_json().render_pretty();
     assert!(a == b, "scale quick report differs between two runs");
 }
+
+// ---------------------------------------------------------------------------
+// Offload campaign determinism
+// ---------------------------------------------------------------------------
+
+use omx_bench::experiments::offload;
+
+const OFFLOAD_GOLDEN: &str = include_str!("golden/offload_cell.json");
+
+/// One representative offload cell (16-node 8 B allreduce in `nic-offload`
+/// mode) pinned byte-for-byte — covering the NIC-resident schedule, the
+/// completion-IRQ accounting, and the SLO harvest. On an intentional
+/// change, paste the rendering this test prints into
+/// `crates/bench/tests/golden/offload_cell.json`.
+#[test]
+fn offload_cell_is_byte_identical_to_golden() {
+    let rendered = offload::golden_cell().to_json().render_pretty();
+    assert!(
+        rendered == OFFLOAD_GOLDEN,
+        "the golden offload cell diverged.\n\
+         If this change is intentional, update\n\
+         crates/bench/tests/golden/offload_cell.json. Otherwise the\n\
+         NIC-offload path is no longer deterministic.\n\
+         --- golden ---\n{OFFLOAD_GOLDEN}\n--- got ---\n{rendered}"
+    );
+}
+
+/// The full quick campaign renders byte-identically across two in-process
+/// runs — the property `omx-bench offload` relies on for its
+/// `results/offload.json` artifact.
+#[test]
+fn offload_quick_report_is_byte_identical_across_runs() {
+    let a = offload::run(true).to_json().render_pretty();
+    let b = offload::run(true).to_json().render_pretty();
+    assert!(a == b, "offload quick report differs between two runs");
+}

@@ -60,6 +60,7 @@ pub mod wire;
 pub mod workloads;
 
 pub use config::ClusterConfig;
+pub use omx_nic::offload;
 pub use system::{Cluster, ClusterBuilder};
 
 /// Convenience re-exports for examples and downstream users.
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::workloads::pingpong::{PingPongReport, PingPongSpec};
     pub use crate::workloads::stream::{StreamReport, StreamSpec};
     pub use omx_host::{CostModel, HostConfig, IrqRouting};
+    pub use omx_nic::offload::{CollOp, OffloadCollDesc, OffloadConfig, OffloadCounters};
     pub use omx_nic::{CoalescingStrategy, NicConfig};
     pub use omx_sim::{Time, TimeDelta};
 }

@@ -51,6 +51,12 @@ enum Effect {
         t: Time,
         pkt: Packet,
     },
+    /// NIC-offload collective frame handed to the fabric.
+    TxColl {
+        idx: u32,
+        t: Time,
+        frame: omx_nic::offload::CollFrame,
+    },
     /// Raw Ethernet frame handed to the fabric.
     TxRaw {
         idx: u32,
@@ -139,6 +145,11 @@ impl SimCtx for ParCtx<'_> {
     fn transmit_omx_wire(&mut self, t: Time, pkt: Packet) {
         let idx = self.next_idx();
         self.effects.push(Effect::TxOmx { idx, t, pkt });
+    }
+
+    fn transmit_coll_wire(&mut self, t: Time, frame: omx_nic::offload::CollFrame) {
+        let idx = self.next_idx();
+        self.effects.push(Effect::TxColl { idx, t, frame });
     }
 
     fn transmit_raw_wire(&mut self, t: Time, src: u16, dst: NodeId, payload_len: u32) {
@@ -400,6 +411,28 @@ pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize)
                                     Ev::FrameArrival {
                                         node: dst,
                                         pkt: WireFrame::Omx(pkt),
+                                    },
+                                );
+                            }
+                        }
+                        Effect::TxColl { idx, t, frame } => {
+                            let outcome = model.fabric.transmit(
+                                t,
+                                PortId(frame.src_node as usize),
+                                PortId(frame.dst_node as usize),
+                                frame.wire_len(),
+                            );
+                            if let TransmitOutcome::Arrives(at) = outcome {
+                                debug_assert!(at.as_nanos() >= end);
+                                guards[owner(frame.dst_node)].queue.push(
+                                    at,
+                                    Key {
+                                        parent: Arc::clone(&rec.stamp),
+                                        idx,
+                                    },
+                                    Ev::FrameArrival {
+                                        node: frame.dst_node,
+                                        pkt: WireFrame::Coll(frame),
                                     },
                                 );
                             }

@@ -32,6 +32,10 @@ use crate::trace::{TraceData, TraceKind, Tracer};
 use crate::wire::{EndpointAddr, MsgId, NodeId, Packet, ETH_HEADER_BYTES, OMX_HEADER_BYTES};
 use omx_fabric::{EthernetFabric, FabricConfig, PortId, TransmitOutcome};
 use omx_host::{CoreId, Host, HostConfig};
+use omx_nic::offload::{
+    CollFrame, CollFrameKind, OffloadCollDesc, OffloadConfig, OffloadCounters, OffloadEmit,
+    OffloadEngine,
+};
 use omx_nic::{CoalescingStrategy, DescId, Nic, NicConfig, NicOutcome, PacketMeta, ReadyPacket};
 use omx_sim::rng::SimRng;
 use omx_sim::stats::TimeWeighted;
@@ -59,6 +63,10 @@ pub struct ClusterConfig {
     pub fabric: FabricConfig,
     /// Protocol tunables (MTU, acks, window, marking).
     pub proto: ProtoConfig,
+    /// NIC collective-offload engine (firmware hop cost, RTO, payload cap).
+    /// Passive — costs nothing — unless an actor posts an offloaded
+    /// collective via [`ActorCtx::post_offload_collective`].
+    pub offload: OffloadConfig,
     /// Intra-node shared-memory path: one-way base latency.
     pub shm_latency_ns: u64,
     /// Intra-node shared-memory copy bandwidth, bytes per microsecond.
@@ -81,6 +89,7 @@ impl Default for ClusterConfig {
             nic: NicConfig::default(),
             fabric,
             proto,
+            offload: OffloadConfig::default(),
             shm_latency_ns: 900,
             shm_bytes_per_us: 2_500,
             seed: 0xC0A1E5CE,
@@ -232,6 +241,12 @@ pub trait Actor: Any + Send {
     fn on_timer(&mut self, ctx: &mut ActorCtx, token: u64) {
         let _ = (ctx, token);
     }
+    /// A NIC-offloaded collective posted via
+    /// [`ActorCtx::post_offload_collective`] completed (`seq` is the
+    /// engine-assigned operation sequence number, in posting order).
+    fn on_offload_complete(&mut self, ctx: &mut ActorCtx, seq: u32) {
+        let _ = (ctx, seq);
+    }
     /// Whether this rank blocks in `mx_wait` between events (pays the
     /// scheduler wakeup latency per delivery burst) instead of polling.
     /// MPI microbenchmarks poll; background daemons and blocking apps don't.
@@ -262,6 +277,9 @@ enum ActorCmd {
     RawEthernet {
         dst: NodeId,
         payload_len: u32,
+    },
+    OffloadColl {
+        desc: OffloadCollDesc,
     },
     Stop,
 }
@@ -334,6 +352,14 @@ impl ActorCtx<'_> {
         self.cmds.push(ActorCmd::RawEthernet { dst, payload_len });
     }
 
+    /// Post a collective to the NIC offload engine (a command-queue write
+    /// plus doorbell). The whole schedule then runs in NIC firmware — no
+    /// per-hop host interrupts — and completion arrives via
+    /// [`Actor::on_offload_complete`] after the single completion IRQ.
+    pub fn post_offload_collective(&mut self, desc: OffloadCollDesc) {
+        self.cmds.push(ActorCmd::OffloadColl { desc });
+    }
+
     /// Stop the whole simulation after this callback.
     pub fn stop(&mut self) {
         self.cmds.push(ActorCmd::Stop);
@@ -376,13 +402,24 @@ pub(crate) enum Ev {
     AppStart { node: u16, ep: u8 },
     /// Intra-node shared-memory delivery.
     ShmDeliver { node: u16, pkt: Packet },
+    /// The NIC offload engine's retransmission timer.
+    OffloadTimer { node: u16 },
+    /// Deliver a NIC-offloaded collective completion to an actor (after
+    /// the completion IRQ handler and event-ring poll).
+    OffloadDone { node: u16, ep: u8, seq: u32 },
 }
 
-/// What travels on the fabric: an Open-MX packet or a raw frame.
+/// What travels on the fabric: an Open-MX packet, a raw frame, or a
+/// NIC-resident collective frame.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum WireFrame {
     Omx(Packet),
-    Raw { payload_len: u32 },
+    Raw {
+        payload_len: u32,
+    },
+    /// NIC-to-NIC collective traffic: consumed by the offload engine on
+    /// arrival, never enters the RX ring / DMA / coalescing path.
+    Coll(CollFrame),
 }
 
 impl WireFrame {
@@ -390,6 +427,7 @@ impl WireFrame {
         match self {
             WireFrame::Omx(p) => p.wire_len(),
             WireFrame::Raw { payload_len } => ETH_HEADER_BYTES + payload_len,
+            WireFrame::Coll(f) => f.wire_len(),
         }
     }
 
@@ -400,6 +438,9 @@ impl WireFrame {
                 // a core (§VI): hash on the destination endpoint.
                 .with_flow(u64::from(p.hdr.dst.endpoint)),
             WireFrame::Raw { .. } => PacketMeta::ip(self.wire_len()),
+            WireFrame::Coll(_) => {
+                unreachable!("offload frames are consumed before RX-ring classification")
+            }
         }
     }
 }
@@ -423,6 +464,11 @@ struct NodeRt {
     /// fire as an epoch-mismatch no-op — O(1) in the timer wheel, and it
     /// keeps the queue from accumulating one dead entry per re-arm.
     coalesce_timer_tok: Option<EventToken>,
+    /// NIC-resident collective engine (firmware state in NIC memory).
+    offload: OffloadEngine,
+    /// Armed offload-RTO deadline (dedup of OffloadTimer events, same
+    /// scheme as `driver_timer`).
+    offload_timer: Option<Time>,
 }
 
 impl NodeRt {
@@ -468,6 +514,9 @@ pub(crate) trait SimCtx {
     fn transmit_omx_wire(&mut self, t: Time, pkt: Packet);
     /// Hand a raw Ethernet frame to the fabric at `t`.
     fn transmit_raw_wire(&mut self, t: Time, src: u16, dst: NodeId, payload_len: u32);
+    /// Hand a NIC-resident collective frame to the fabric at `t` (the
+    /// firmware hop cost is already folded into `t`).
+    fn transmit_coll_wire(&mut self, t: Time, frame: CollFrame);
     /// Record a trace event. The payload is built lazily: when tracing is
     /// disabled the closure never runs, so tracing costs one branch.
     fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData);
@@ -542,6 +591,28 @@ impl SimCtx for SerialCtx<'_> {
         }
     }
 
+    fn transmit_coll_wire(&mut self, t: Time, frame: CollFrame) {
+        match self.fabric.transmit(
+            t,
+            PortId(frame.src_node as usize),
+            PortId(frame.dst_node as usize),
+            frame.wire_len(),
+        ) {
+            TransmitOutcome::Arrives(at) => {
+                self.sched.schedule_at(
+                    at,
+                    Ev::FrameArrival {
+                        node: frame.dst_node,
+                        pkt: WireFrame::Coll(frame),
+                    },
+                );
+            }
+            TransmitOutcome::Lost | TransmitOutcome::SwitchDropped => {
+                // The offload engine's NIC-side RTO retransmits.
+            }
+        }
+    }
+
     fn trace(&mut self, at: Time, node: u16, kind: TraceKind, data: impl FnOnce() -> TraceData) {
         if let Some(t) = self.tracer.as_mut() {
             t.record(at, node, kind, data());
@@ -595,6 +666,8 @@ pub(crate) struct Shard {
     frame_scratch: Vec<WireFrame>,
     /// Pool of batch vectors cycling through `Ev::BatchDone` events.
     batch_pool: Vec<Vec<Packet>>,
+    /// Scratch for draining the offload engine's emit queue.
+    offload_scratch: Vec<OffloadEmit>,
     /// Per-node cumulative application-payload bytes delivered — the
     /// goodput tap, indexed by `node - base`. Tracked here (not in
     /// `DriverCounters`) so the serialized counter shape stays stable.
@@ -705,6 +778,7 @@ impl Shard {
                 ready_scratch: Vec::new(),
                 frame_scratch: Vec::new(),
                 batch_pool: Vec::new(),
+                offload_scratch: Vec::new(),
                 delivered_bytes: delivered.split_off(start),
             });
         }
@@ -926,6 +1000,85 @@ impl Shard {
         }
     }
 
+    /// Drain and apply the offload engine's queued emits for `node`. The
+    /// engine is a passive state machine; this is the single point where
+    /// its decisions touch the wire, the sanitizer, the host IRQ path and
+    /// the event queue — all through `ctx`, so serial and parallel engines
+    /// replay identical effect sequences.
+    fn run_offload_emits(&mut self, node: u16, now: Time, ctx: &mut impl SimCtx) {
+        let mut emits = std::mem::take(&mut self.offload_scratch);
+        self.rt(node).offload.drain_emits(&mut emits);
+        for e in emits.drain(..) {
+            match e {
+                OffloadEmit::Wire { at, frame, fresh } => {
+                    if fresh {
+                        if let CollFrameKind::Data { payload, .. } = frame.kind {
+                            ctx.san_send_posted(frame.src_node, frame.dst_node, payload);
+                        }
+                    }
+                    ctx.trace(at, node, TraceKind::OffloadFrame, || {
+                        coll_trace_data(&frame)
+                    });
+                    if frame.dst_node == node {
+                        // NIC-internal loopback (co-located ranks): never
+                        // touches the fabric, cannot be lost.
+                        ctx.schedule_at(
+                            at,
+                            Ev::FrameArrival {
+                                node,
+                                pkt: WireFrame::Coll(frame),
+                            },
+                        );
+                    } else {
+                        ctx.transmit_coll_wire(at, frame);
+                    }
+                }
+                OffloadEmit::Delivered {
+                    src_node,
+                    msg_id,
+                    len,
+                } => {
+                    ctx.san_delivered(src_node, node, msg_id, len);
+                }
+                OffloadEmit::AckCompleted => ctx.san_send_completed(),
+                OffloadEmit::Complete { ep, seq, rank } => {
+                    // The one host-visible interrupt of the whole operation:
+                    // a dedicated MSI-X completion vector, not subject to
+                    // the coalescing strategy, but accounted into the same
+                    // per-NIC interrupt counter the telemetry reads.
+                    let costs = self.cfg.host.costs;
+                    let rt = self.rt(node);
+                    rt.nic.note_offload_interrupt();
+                    let svc = rt.host.deliver_irq(now, u64::from(ep));
+                    ctx.trace(now, node, TraceKind::Interrupt, || TraceData::Irq {
+                        core: svc.core,
+                        start_ns: svc.start.as_nanos(),
+                        woken: svc.was_sleeping,
+                    });
+                    let dur = costs.irq_dispatch_ns + costs.omx_handler_ns + costs.event_ring_ns;
+                    let end = self.rt(node).host.occupy_irq(svc.core, svc.start, dur);
+                    let visible = end + TimeDelta::from_nanos(costs.app_event_ns as i64);
+                    ctx.trace(now, node, TraceKind::OffloadComplete, || {
+                        TraceData::CollDone { ep, seq, rank }
+                    });
+                    ctx.schedule_at(visible, Ev::OffloadDone { node, ep, seq });
+                }
+                OffloadEmit::ArmTimer { at } => {
+                    let rt = self.rt(node);
+                    let need = match rt.offload_timer {
+                        Some(armed) => at < armed,
+                        None => true,
+                    };
+                    if need {
+                        rt.offload_timer = Some(at);
+                        ctx.schedule_at(at.max(now), Ev::OffloadTimer { node });
+                    }
+                }
+            }
+        }
+        self.offload_scratch = emits;
+    }
+
     /// Run one actor callback and execute the commands it issued.
     fn with_actor(
         &mut self,
@@ -1019,6 +1172,14 @@ impl Shard {
                     cursor += TimeDelta::from_nanos(costs.send_post_ns as i64);
                     ctx.transmit_raw_wire(cursor, node, dst, payload_len);
                 }
+                ActorCmd::OffloadColl { desc } => {
+                    // Host cost is one command-queue write plus the
+                    // doorbell; the schedule itself runs in firmware.
+                    let cpu = costs.send_post_ns + costs.tx_doorbell_ns;
+                    cursor += TimeDelta::from_nanos(cpu as i64);
+                    self.rt(node).offload.post(cursor, ep, &desc);
+                    self.run_offload_emits(node, cursor, ctx);
+                }
                 ActorCmd::Stop => {
                     self.stop = true;
                 }
@@ -1068,6 +1229,17 @@ impl Shard {
     pub(crate) fn dispatch(&mut self, now: Time, event: Ev, ctx: &mut impl SimCtx) {
         match event {
             Ev::FrameArrival { node, pkt } => {
+                if let WireFrame::Coll(frame) = pkt {
+                    // NIC-resident collective: consumed by the offload
+                    // engine in firmware — no RX ring, no DMA, no
+                    // coalescer, no per-hop interrupt.
+                    ctx.trace(now, node, TraceKind::FrameArrival, || {
+                        coll_trace_data(&frame)
+                    });
+                    self.rt(node).offload.on_frame(now, frame);
+                    self.run_offload_emits(node, now, ctx);
+                    return;
+                }
                 let meta = pkt.meta();
                 let out = self.rt(node).nic.on_frame(now, meta);
                 let desc = if out.dropped {
@@ -1081,6 +1253,7 @@ impl Shard {
                         desc: desc.map(|d| d.0),
                     },
                     WireFrame::Raw { payload_len } => TraceData::RawFrame { len: payload_len },
+                    WireFrame::Coll(_) => unreachable!("handled before RX-ring classification"),
                 });
                 if out.dropped {
                     ctx.trace(now, node, TraceKind::Drop, || TraceData::Text("ring full"));
@@ -1125,6 +1298,7 @@ impl Shard {
                 batch.extend(frames.drain(..).filter_map(|f| match f {
                     WireFrame::Omx(p) => Some(p),
                     WireFrame::Raw { .. } => None, // dropped by the stack
+                    WireFrame::Coll(_) => unreachable!("offload frames never enter the RX ring"),
                 }));
                 self.frame_scratch = frames;
                 ctx.schedule_at(end, Ev::BatchDone { node, core, batch });
@@ -1198,7 +1372,58 @@ impl Shard {
             Ev::AppTimer { node, ep, token } => {
                 self.with_actor(node, ep, now, ctx, |a, actx| a.on_timer(actx, token));
             }
+            Ev::OffloadTimer { node } => {
+                let rt = self.rt(node);
+                rt.offload_timer = None;
+                let due = rt.offload.next_deadline().is_some_and(|d| d <= now);
+                if due {
+                    self.rt(node).offload.on_timer(now);
+                    self.run_offload_emits(node, now, ctx);
+                } else if let Some(d) = self.rt(node).offload.next_deadline() {
+                    let rt = self.rt(node);
+                    rt.offload_timer = Some(d);
+                    ctx.schedule_at(d, Ev::OffloadTimer { node });
+                }
+            }
+            Ev::OffloadDone { node, ep, seq } => {
+                self.with_actor(node, ep, now, ctx, |a, actx| {
+                    a.on_offload_complete(actx, seq)
+                });
+            }
         }
+    }
+}
+
+/// Trace payload for a collective frame (data or ack).
+fn coll_trace_data(frame: &CollFrame) -> TraceData {
+    match frame.kind {
+        CollFrameKind::Data {
+            src_rank,
+            dst_rank,
+            seq,
+            round,
+            payload,
+        } => TraceData::Coll {
+            src_rank,
+            dst_rank,
+            seq,
+            round,
+            len: payload,
+            ack: false,
+        },
+        CollFrameKind::Ack {
+            data_src,
+            data_dst,
+            seq,
+            round,
+        } => TraceData::Coll {
+            src_rank: data_dst,
+            dst_rank: data_src,
+            seq,
+            round,
+            len: 0,
+            ack: true,
+        },
     }
 }
 
@@ -1261,6 +1486,8 @@ impl Cluster {
                 pending_dma: TimeWeighted::default(),
                 driver_timer: None,
                 coalesce_timer_tok: None,
+                offload: OffloadEngine::new(i as u16, cfg.offload),
+                offload_timer: None,
             })
             .collect();
         let model_nodes = cfg.nodes;
@@ -1278,6 +1505,7 @@ impl Cluster {
                 ready_scratch: Vec::new(),
                 frame_scratch: Vec::new(),
                 batch_pool: Vec::new(),
+                offload_scratch: Vec::new(),
                 delivered_bytes: vec![0; model_nodes],
             },
             fabric,
@@ -1486,6 +1714,11 @@ impl Cluster {
                 ));
             }
         }
+        for rt in &m.shard.nodes {
+            // Offload liveness: incomplete operations, un-acked frames and
+            // stranded early-arrival buffers are bugs at quiescence.
+            rt.offload.pending_report(&mut report.violations);
+        }
         report
     }
 
@@ -1540,6 +1773,21 @@ impl Cluster {
                 })
                 .collect(),
         }
+    }
+
+    /// Per-node NIC collective-offload counters, indexed by node id. All
+    /// zeros unless actors posted offloaded collectives. Kept separate from
+    /// [`Cluster::metrics`] so the golden-pinned metrics JSON shape is
+    /// untouched; the completion IRQs themselves are folded into the
+    /// regular per-NIC interrupt counters.
+    pub fn offload_counters(&self) -> Vec<OffloadCounters> {
+        self.engine
+            .model()
+            .shard
+            .nodes
+            .iter()
+            .map(|n| n.offload.counters().clone())
+            .collect()
     }
 
     /// Total interrupts raised across all nodes (the paper's headline

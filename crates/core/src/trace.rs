@@ -53,6 +53,11 @@ pub enum TraceKind {
     AppDelivery,
     /// A frame was dropped (ring overflow or injected loss).
     Drop,
+    /// The NIC offload engine put a collective frame on the wire.
+    OffloadFrame,
+    /// A NIC-resident collective completed on a node (exactly one per
+    /// operation per rank; the completion IRQ is traced as `Interrupt`).
+    OffloadComplete,
 }
 
 impl TraceKind {
@@ -67,6 +72,8 @@ impl TraceKind {
             TraceKind::BatchDone => "batch_done",
             TraceKind::AppDelivery => "app_delivery",
             TraceKind::Drop => "drop",
+            TraceKind::OffloadFrame => "offload_frame",
+            TraceKind::OffloadComplete => "offload_complete",
         }
     }
 }
@@ -129,6 +136,30 @@ pub enum TraceData {
         /// Message length, bytes.
         len: u32,
     },
+    /// NIC-offloaded collective frame (data hop or NIC-to-NIC ack).
+    Coll {
+        /// Sending rank (for acks: the rank sending the ack).
+        src_rank: u32,
+        /// Receiving rank (for acks: the data frame's original sender).
+        dst_rank: u32,
+        /// Operation sequence number.
+        seq: u32,
+        /// Schedule round.
+        round: u16,
+        /// Payload bytes (0 for tokens and acks).
+        len: u32,
+        /// True for NIC-to-NIC acknowledgments.
+        ack: bool,
+    },
+    /// NIC-offloaded collective completion on a rank.
+    CollDone {
+        /// Endpoint notified.
+        ep: u8,
+        /// Operation sequence number.
+        seq: u32,
+        /// Global rank the operation completed for.
+        rank: u32,
+    },
 }
 
 /// One trace record.
@@ -187,6 +218,20 @@ impl TraceEvent {
             TraceData::Recv { ep, src, msg, len } => {
                 format!("ep {ep} src={src} msg={msg} len={len}")
             }
+            TraceData::Coll {
+                src_rank,
+                dst_rank,
+                seq,
+                round,
+                len,
+                ack,
+            } => format!(
+                "coll{} seq={seq} round={round} {src_rank}->{dst_rank} len={len}",
+                if ack { " ack" } else { "" }
+            ),
+            TraceData::CollDone { ep, seq, rank } => {
+                format!("rank {rank} ep {ep} seq={seq}")
+            }
         }
     }
 
@@ -231,6 +276,26 @@ impl TraceEvent {
                 put("src", Json::U64(u64::from(src)));
                 put("msg", Json::U64(msg));
                 put("len", Json::U64(u64::from(len)));
+            }
+            TraceData::Coll {
+                src_rank,
+                dst_rank,
+                seq,
+                round,
+                len,
+                ack,
+            } => {
+                put("src_rank", Json::U64(u64::from(src_rank)));
+                put("dst_rank", Json::U64(u64::from(dst_rank)));
+                put("seq", Json::U64(u64::from(seq)));
+                put("round", Json::U64(u64::from(round)));
+                put("len", Json::U64(u64::from(len)));
+                put("ack", Json::Bool(ack));
+            }
+            TraceData::CollDone { ep, seq, rank } => {
+                put("ep", Json::U64(u64::from(ep)));
+                put("seq", Json::U64(u64::from(seq)));
+                put("rank", Json::U64(u64::from(rank)));
             }
         }
         args

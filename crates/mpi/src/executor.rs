@@ -11,7 +11,8 @@ use crate::collectives::{
     reduce_round, RoundAction,
 };
 use crate::ops::Op;
-use crate::world::WorldSpec;
+use crate::world::{CollectiveExec, WorldSpec};
+use omx_core::offload::{CollOp, OffloadCollDesc};
 use omx_core::system::{Actor, ActorCtx, RecvCompletion};
 use omx_sim::{Time, TimeDelta};
 use std::any::Any;
@@ -38,6 +39,9 @@ enum Wait {
     },
     /// Waiting for a compute timer.
     Compute,
+    /// Waiting for the NIC offload engine's single completion interrupt
+    /// for the collective with this engine-assigned sequence number.
+    Offload(u32),
 }
 
 /// One MPI rank running a program.
@@ -48,6 +52,13 @@ pub struct RankActor {
     pc: usize,
     round: u32,
     coll_seq: u64,
+    exec: CollectiveExec,
+    /// Firmware payload cap: bcast/allreduce above this fall back to host.
+    offload_max_payload: u32,
+    /// Next sequence number the NIC offload engine will assign. Mirrors
+    /// the engine's per-slot watermark — every rank posts the same
+    /// collective sequence, so the mirror never drifts.
+    offload_seq: u32,
     wait: Wait,
     // Compute-phase accounting.
     compute_start: Time,
@@ -90,6 +101,9 @@ impl RankActor {
             pc: 0,
             round: 0,
             coll_seq: 0,
+            exec: CollectiveExec::Host,
+            offload_max_payload: 0,
+            offload_seq: 0,
             wait: Wait::None,
             compute_start: Time::ZERO,
             compute_cpu_ns: 0,
@@ -102,6 +116,14 @@ impl RankActor {
             op_start: Time::ZERO,
             op_latency_ns: Vec::new(),
         }
+    }
+
+    /// Select the collective execution mode (default: host) and the
+    /// firmware payload cap gating bcast/allreduce offload eligibility.
+    pub fn with_exec(mut self, exec: CollectiveExec, offload_max_payload: u32) -> Self {
+        self.exec = exec;
+        self.offload_max_payload = offload_max_payload;
+        self
     }
 
     /// Disable the stop-on-last-rank behaviour: the simulation keeps
@@ -194,6 +216,13 @@ impl RankActor {
                     self.post_exchange(ctx, peer, Some(bytes), true, m_out, m_in);
                     return;
                 }
+                Op::Barrier | Op::Bcast { .. } | Op::Allreduce { .. }
+                    if self.offload_desc(&op).is_some() =>
+                {
+                    let desc = self.offload_desc(&op).expect("guard checked eligibility");
+                    self.post_offload(ctx, desc);
+                    return;
+                }
                 Op::Barrier => {
                     if self.run_collective_round(ctx, &op) {
                         return;
@@ -211,6 +240,44 @@ impl RankActor {
                 }
             }
         }
+    }
+
+    /// The NIC-offload descriptor for `op`, when the job runs with
+    /// [`CollectiveExec::NicOffload`] and the operation is eligible:
+    /// barrier always, bcast/allreduce up to the firmware payload cap.
+    /// Eligibility is a pure function of the op itself, so every rank
+    /// makes the same host-vs-NIC decision for the same program step.
+    fn offload_desc(&self, op: &Op) -> Option<OffloadCollDesc> {
+        if self.exec != CollectiveExec::NicOffload {
+            return None;
+        }
+        let (coll, payload) = match *op {
+            Op::Barrier => (CollOp::Barrier, 0),
+            Op::Bcast { root, bytes } if bytes <= self.offload_max_payload => {
+                (CollOp::Bcast { root: root as u32 }, bytes)
+            }
+            Op::Allreduce { bytes } if bytes <= self.offload_max_payload => {
+                (CollOp::Allreduce, bytes)
+            }
+            _ => return None,
+        };
+        Some(OffloadCollDesc {
+            op: coll,
+            rank: self.rank as u32,
+            ranks: self.world.ranks as u32,
+            ranks_per_node: self.world.ranks_per_node as u32,
+            payload,
+        })
+    }
+
+    /// Hand a collective to the NIC and block until its single completion
+    /// interrupt. The engine assigns sequence numbers from a per-rank
+    /// watermark; `offload_seq` mirrors it for the completion check.
+    fn post_offload(&mut self, ctx: &mut ActorCtx, desc: OffloadCollDesc) {
+        let seq = self.offload_seq;
+        self.offload_seq += 1;
+        self.wait = Wait::Offload(seq);
+        ctx.post_offload_collective(desc);
     }
 
     /// Execute the current collective round. Returns true when blocked
@@ -364,6 +431,18 @@ impl Actor for RankActor {
 
     fn on_recv_complete(&mut self, ctx: &mut ActorCtx, _c: RecvCompletion) {
         self.completion(ctx, false);
+    }
+
+    fn on_offload_complete(&mut self, ctx: &mut ActorCtx, seq: u32) {
+        debug_assert_eq!(
+            self.wait,
+            Wait::Offload(seq),
+            "rank {}: stray offload completion",
+            self.rank
+        );
+        self.wait = Wait::None;
+        self.step_done(ctx.now());
+        self.advance(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut ActorCtx, _token: u64) {

@@ -28,4 +28,4 @@ pub mod world;
 
 pub use executor::RankActor;
 pub use ops::Op;
-pub use world::{MpiRunReport, MpiWorld, WorldSpec};
+pub use world::{CollectiveExec, MpiRunReport, MpiWorld, WorldSpec};

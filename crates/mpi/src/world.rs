@@ -59,6 +59,23 @@ impl WorldSpec {
     }
 }
 
+/// Where collectives execute: on the host CPUs (decomposed into
+/// point-to-point rounds that each cost per-hop interrupts) or on the NIC
+/// (the firmware runs the schedule; the host sees exactly one completion
+/// interrupt per operation per rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveExec {
+    /// Software collectives over Open-MX point-to-point messages (the
+    /// paper's baseline; interacts with the NIC's coalescing strategy).
+    #[default]
+    Host,
+    /// NIC-resident collectives ([`omx_core::offload`]): barrier always,
+    /// bcast and allreduce when the payload fits the firmware buffer
+    /// ([`omx_core::offload::OffloadConfig::max_payload`]). Ineligible
+    /// collectives transparently fall back to the host path.
+    NicOffload,
+}
+
 /// Result of one MPI job run.
 #[derive(Debug, Clone)]
 pub struct MpiRunReport {
@@ -77,6 +94,9 @@ pub struct MpiRunReport {
     pub metrics: ClusterMetrics,
     /// Windowed telemetry, when enabled via [`MpiWorld::enable_telemetry`].
     pub telemetry: Option<Telemetry>,
+    /// Per-node NIC collective-offload engine counters (all zero unless the
+    /// job ran with [`CollectiveExec::NicOffload`]).
+    pub offload: Vec<omx_core::offload::OffloadCounters>,
 }
 
 /// A configured MPI job.
@@ -98,6 +118,8 @@ pub struct MpiRunReport {
 pub struct MpiWorld {
     spec: WorldSpec,
     cluster: Cluster,
+    exec: CollectiveExec,
+    offload_max_payload: u32,
 }
 
 impl MpiWorld {
@@ -112,10 +134,19 @@ impl MpiWorld {
             spec.ranks_per_node,
             base.host.cores
         );
+        let offload_max_payload = base.offload.max_payload;
         MpiWorld {
             spec,
             cluster: Cluster::new(base),
+            exec: CollectiveExec::Host,
+            offload_max_payload,
         }
+    }
+
+    /// Select where collectives execute (default: [`CollectiveExec::Host`]).
+    pub fn with_collective_exec(mut self, exec: CollectiveExec) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The placement spec.
@@ -161,7 +192,8 @@ impl MpiWorld {
     ) -> (MpiRunReport, Option<omx_core::sanitizer::SanitizerReport>) {
         let done = Arc::new(AtomicUsize::new(0));
         for rank in 0..self.spec.ranks {
-            let mut actor = RankActor::new(rank, self.spec, program(rank), Arc::clone(&done));
+            let mut actor = RankActor::new(rank, self.spec, program(rank), Arc::clone(&done))
+                .with_exec(self.exec, self.offload_max_payload);
             if drain {
                 actor = actor.draining();
             }
@@ -227,6 +259,7 @@ impl MpiWorld {
             op_latency,
             metrics: self.cluster.metrics(),
             telemetry: self.cluster.take_telemetry(),
+            offload: self.cluster.offload_counters(),
         };
         (report, sanitizer)
     }

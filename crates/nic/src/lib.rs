@@ -29,12 +29,19 @@
 //!
 //! [`Nic`] composes ring, DMA engine and strategy into one passive state
 //! machine driven by the cluster orchestrator.
+//!
+//! [`offload`] adds the counterpoint to coalescing: NIC-resident
+//! barrier/bcast/small-allreduce ([`OffloadEngine`]) that run the whole
+//! collective schedule in firmware and raise exactly one completion
+//! interrupt per operation per rank — bypassing the RX ring, the DMA
+//! engine and the coalescer entirely.
 
 #![warn(missing_docs)]
 
 pub mod coalesce;
 pub mod dma;
 pub mod nic;
+pub mod offload;
 pub mod packet;
 
 pub use coalesce::{
@@ -43,4 +50,8 @@ pub use coalesce::{
 };
 pub use dma::{DmaConfig, DmaEngine};
 pub use nic::{Nic, NicConfig, NicCounters, NicOutcome, ReadyPacket};
+pub use offload::{
+    CollFrame, CollFrameKind, CollOp, OffloadCollDesc, OffloadConfig, OffloadCounters, OffloadEmit,
+    OffloadEngine,
+};
 pub use packet::{DescId, PacketClass, PacketMeta};

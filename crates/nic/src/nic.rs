@@ -185,6 +185,16 @@ impl Nic {
         self.strategy.name()
     }
 
+    /// Account one completion interrupt raised by the collective-offload
+    /// engine ([`crate::offload`]). Offloaded collectives bypass the RX
+    /// ring, DMA engine and coalescer entirely — this is a dedicated
+    /// MSI-X completion vector — but the interrupt still lands on the
+    /// host, so it is folded into the same counter telemetry and the
+    /// host-load experiments read.
+    pub fn note_offload_interrupt(&mut self) {
+        self.counters.interrupts.incr();
+    }
+
     /// Counters snapshot.
     pub fn counters(&self) -> &NicCounters {
         &self.counters
