@@ -1,5 +1,5 @@
 //! Cross-process determinism of the conservative parallel DES core
-//! (ISSUE 8).
+//! (PR 8, extended by PR 10's global stop vote).
 //!
 //! The engine contract (DESIGN §12) mirrors the campaign executor's
 //! (DESIGN §11): **parallelism may reorder execution, but never observable
@@ -7,24 +7,31 @@
 //! nodes across workers and merges cross-partition frames in serial
 //! dispatch order, so every artifact — campaign tables, telemetry
 //! timelines, goldens — must regenerate *byte-identical* at any
-//! `--sim-jobs` value. These tests spawn the real `omx-bench` binary —
-//! separate processes, separate working directories — at `--sim-jobs 1`
-//! (the serial engine), `--sim-jobs 2`, and `--sim-jobs 8` (more workers
-//! than this machine has cores, so barrier contention and oversubscription
-//! are both in play), and compare artifact bytes.
+//! `--sim-jobs` value. Since PR 10 that includes **stop-predicate runs**
+//! (fig4/fig5/Table I: the global stop vote must end the run at the exact
+//! serial stop ordinal), not just drained campaigns. These tests spawn
+//! the real `omx-bench` binary — separate processes, separate working
+//! directories — at `--sim-jobs 1` (the serial engine), `--sim-jobs 2`,
+//! and `--sim-jobs 8` (more workers than this machine has cores, so
+//! barrier contention and oversubscription are both in play), and compare
+//! artifact bytes.
 //!
 //! In-process companions pin the committed goldens through the parallel
-//! engine, and the CLI-validation tests cover the ISSUE 8 satellite: a
-//! malformed `--jobs`/`--sim-jobs` must fail loudly with a non-zero exit,
-//! and a malformed `OMX_SIM_JOBS` must warn on stderr and fall back to the
-//! serial engine instead of silently parsing as something else.
+//! engine, and the CLI-validation tests cover the loud-failure satellites:
+//! a malformed `--jobs`/`--sim-jobs` must fail with a non-zero exit, a
+//! malformed `OMX_SIM_JOBS` must warn on stderr and fall back to the
+//! serial engine instead of silently parsing as something else, and an
+//! ineligible run shape under `--sim-jobs` must warn exactly once per
+//! process — never a silent serial fallback, never log spam.
 
 use omx_sim::pool;
 use std::path::PathBuf;
 use std::process::Command;
 
 /// Run `omx-bench <args>` in a fresh scratch directory and return the
-/// bytes of `results/<artifact>` it wrote there.
+/// bytes of `results/<artifact>` it wrote there. Every run shape spawned
+/// by these tests is parallel-engine-eligible, so the serial-fallback
+/// warning (PR 10's no-silent-fallback satellite) must never appear.
 fn run_in_scratch(tag: &str, args: &[&str], artifact: &str) -> Vec<u8> {
     let dir = std::env::temp_dir().join(format!("omx_engine_det_{}_{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -40,6 +47,11 @@ fn run_in_scratch(tag: &str, args: &[&str], artifact: &str) -> Vec<u8> {
         "omx-bench {args:?} failed (status {:?}):\n{}",
         output.status,
         String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !stderr.contains("uses the serial engine"),
+        "eligible shape fell back to the serial engine under {args:?}:\n{stderr}"
     );
     let bytes = std::fs::read(dir.join("results").join(artifact))
         .unwrap_or_else(|e| panic!("read {artifact} after omx-bench {args:?}: {e}"));
@@ -76,6 +88,88 @@ fn timeline_quick_jsonl_is_byte_identical_across_sim_jobs() {
         serial == parallel,
         "timeline JSONL differs between --sim-jobs 1 and --sim-jobs 2"
     );
+}
+
+/// PR 10 tentpole: stop-predicate runs (the fig5 ping-pong sweep) are now
+/// parallel-engine-eligible via the global stop vote, and regenerate
+/// byte-identical — the run must end at the exact serial stop ordinal, or
+/// half-RTT means and frame counts drift.
+#[test]
+fn fig5_pingpong_json_is_byte_identical_across_sim_jobs() {
+    let args = |jobs| vec!["fig5", "--quick", "--sim-jobs", jobs];
+    let serial = run_in_scratch("fig5_sj1", &args("1"), "fig5_pingpong.json");
+    for jobs in ["2", "8"] {
+        let parallel = run_in_scratch(&format!("fig5_sj{jobs}"), &args(jobs), "fig5_pingpong.json");
+        assert!(
+            serial == parallel,
+            "fig5_pingpong.json differs between --sim-jobs 1 and --sim-jobs {jobs}"
+        );
+    }
+}
+
+/// Table I (windowed streams, receiver-voted stop) under the stop vote.
+#[test]
+fn table1_json_is_byte_identical_across_sim_jobs() {
+    let args = |jobs| vec!["table1", "--quick", "--sim-jobs", jobs];
+    let serial = run_in_scratch("t1_sj1", &args("1"), "table1_message_rate.json");
+    for jobs in ["2", "8"] {
+        let parallel = run_in_scratch(
+            &format!("t1_sj{jobs}"),
+            &args(jobs),
+            "table1_message_rate.json",
+        );
+        assert!(
+            serial == parallel,
+            "table1_message_rate.json differs between --sim-jobs 1 and --sim-jobs {jobs}"
+        );
+    }
+}
+
+/// Fig. 4 (message rate vs coalescing delay — a stop-voted streaming
+/// sweep across every strategy) under the stop vote.
+#[test]
+fn fig4_json_is_byte_identical_across_sim_jobs() {
+    let args = |jobs| vec!["fig4", "--quick", "--sim-jobs", jobs];
+    let serial = run_in_scratch("fig4_sj1", &args("1"), "fig4_message_rate.json");
+    for jobs in ["2", "8"] {
+        let parallel = run_in_scratch(
+            &format!("fig4_sj{jobs}"),
+            &args(jobs),
+            "fig4_message_rate.json",
+        );
+        assert!(
+            serial == parallel,
+            "fig4_message_rate.json differs between --sim-jobs 1 and --sim-jobs {jobs}"
+        );
+    }
+}
+
+/// In-process companion for the stop-voted shapes: the fig5/fig4/Table I
+/// sweeps rendered at sim_jobs 2 and 8 match the serial render exactly.
+/// `with_jobs(1)` forces campaign cells inline on this thread so the
+/// thread-local `with_sim_jobs` override actually reaches them.
+#[test]
+fn stop_voted_sweeps_are_sim_jobs_invariant_in_process() {
+    use omx_bench::experiments::{fig4, pingpong, table1};
+    use omx_sim::json::ToJson;
+    let render = |sim_jobs: usize| {
+        pool::with_sim_jobs(sim_jobs, || {
+            pool::with_jobs(1, || {
+                (
+                    pingpong::run(false, 200).to_json().render_pretty(),
+                    fig4::run(100).to_json().render_pretty(),
+                    table1::run().to_json().render_pretty(),
+                )
+            })
+        })
+    };
+    let serial = render(1);
+    for jobs in [2, 8] {
+        assert!(
+            render(jobs) == serial,
+            "stop-voted sweep output diverged from serial at sim_jobs={jobs}"
+        );
+    }
 }
 
 /// The pinned scale campaign cell reproduces its committed golden through
@@ -136,6 +230,58 @@ fn malformed_jobs_flags_exit_nonzero() {
             .expect("spawn omx-bench");
         assert_eq!(output.status.code(), Some(2), "bare {flag} should exit 2");
     }
+}
+
+/// Probe body for [`serial_fallback_warning_is_one_shot_cross_process`]:
+/// inert unless re-executed with `OMX_FALLBACK_PROBE=1`. Performs two
+/// ineligible runs (single-node clusters — nothing to partition) with
+/// `--sim-jobs 2` requested, so the parent can count warning lines on this
+/// process's real stderr.
+#[test]
+fn serial_fallback_probe() {
+    if std::env::var("OMX_FALLBACK_PROBE").is_err() {
+        return;
+    }
+    use omx_core::prelude::*;
+    pool::with_sim_jobs(2, || {
+        for _ in 0..2 {
+            let mut cluster = ClusterBuilder::new().nodes(1).build();
+            cluster.run_drain(omx_sim::Time::from_nanos(1_000));
+        }
+    });
+}
+
+/// Satellite: the "requested --sim-jobs but running serial" warning is
+/// emitted exactly once per process, on stderr, naming the reason — not
+/// zero times (silent fallback) and not once per run (log spam). Spawns
+/// this test binary again filtered to [`serial_fallback_probe`], which
+/// does two ineligible runs in one process.
+#[test]
+fn serial_fallback_warning_is_one_shot_cross_process() {
+    let exe = std::env::current_exe().expect("current test binary");
+    let output = Command::new(exe)
+        .args(["--exact", "serial_fallback_probe", "--nocapture"])
+        .env("OMX_FALLBACK_PROBE", "1")
+        .output()
+        .expect("re-exec test binary");
+    assert!(
+        output.status.success(),
+        "probe run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let warnings = stderr
+        .lines()
+        .filter(|l| l.contains("--sim-jobs 2 requested but this run uses the serial engine"))
+        .count();
+    assert_eq!(
+        warnings, 1,
+        "expected exactly one fallback warning across two ineligible runs, got {warnings}:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("single node"),
+        "warning must name the reason:\n{stderr}"
+    );
 }
 
 /// Satellite: a malformed `OMX_SIM_JOBS` environment value warns once on

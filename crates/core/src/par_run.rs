@@ -1,48 +1,140 @@
-//! The conservative parallel drain engine (DESIGN §12).
+//! The conservative parallel engine (DESIGN §12).
 //!
-//! [`drain_parallel`] runs a not-yet-started [`Cluster`] to quiescence on
-//! `parts` worker threads while producing output byte-identical to the
-//! serial engine. The scheme:
+//! `run_parallel` runs a not-yet-started [`Cluster`] on `parts`
+//! partitions while producing output byte-identical to the serial engine —
+//! for *every* run shape, including stop-mode workloads (pingpong, Table I
+//! cells) that end via [`ActorCtx::stop`]. The scheme:
 //!
 //! * **Partition.** The cluster's nodes split into `parts` contiguous
-//!   [`Shard`]s ([`Shard::split`]), each with its own event queue
+//!   shards (`Shard::split`), each with its own event queue
 //!   ([`ParQueue`]). Every event handler is shard-local by construction —
 //!   cross-node interaction exists only as fabric transmissions.
 //!
-//! * **Epochs.** Time advances in barrier-synchronized epochs
-//!   `[T0, epoch_end)` where `T0` is the global minimum next-event time and
-//!   `epoch_end = min(T0 + lookahead, next telemetry tick boundary,
-//!   horizon + 1)`. The lookahead is the fabric's minimum cross-node
-//!   transit time ([`FabricConfig::lookahead_ns`]): any frame transmitted
-//!   by an epoch-`[T0, end)` dispatch arrives at `≥ T0 + lookahead ≥ end`,
-//!   i.e. always in a later epoch — workers never need each other's
-//!   in-epoch effects.
+//! * **Epochs.** Per step the coordinator computes `T0` (the global
+//!   minimum next-event time) and the raw epoch window
+//!   `[T0, raw_end)` with `raw_end = min(T0 + lookahead, next telemetry
+//!   tick boundary, horizon + 1)`. The lookahead is the fabric's minimum
+//!   cross-node transit time ([`FabricConfig::lookahead_ns`]): any frame
+//!   transmitted by an in-window dispatch arrives at `≥ T0 + lookahead ≥
+//!   raw_end`, i.e. always in a later window — partitions never need each
+//!   other's in-window effects. Each window then runs in one of three
+//!   modes:
 //!
-//! * **Deterministic merge.** Workers dispatch only *node-local* effects
-//!   eagerly (their own queue); everything with global state — fabric
-//!   transmits, trace records, sanitizer taps — is logged per dispatch.
-//!   At the barrier the coordinator replays those logs in *exact serial
-//!   dispatch order*, reconstructed by [`merge_order`] from the lineage
-//!   stamps each dispatch carries (see `omx_sim::par` for the proof). The
-//!   fabric (with its disturbance RNG), tracer, and sanitizer therefore
-//!   observe the identical call sequence the serial engine would have made,
-//!   and cross-shard frame arrivals are enqueued with deterministic keys.
+//!   1. **Parallel barrier epoch** — when two or more partitions have
+//!      events in the window and none of the *active* partitions contains
+//!      a stop-capable actor ([`Actor::may_stop`]). Workers drain their
+//!      queues concurrently between two barriers; the coordinator then
+//!      replays the logged global effects in exact serial dispatch order,
+//!      reconstructed by [`merge_order_with`] from the lineage stamps each
+//!      dispatch carries (see `omx_sim::par` for the proof). The fabric
+//!      (with its disturbance RNG), tracer, and sanitizer observe the
+//!      identical call sequence the serial engine would have made. A
+//!      `stop()` in this mode is a contract violation and panics.
+//!
+//!   2. **Single-active inline** — when exactly one partition has events
+//!      in the window. The coordinator dispatches that partition inline
+//!      (no barrier, no merge — stamps resolve immediately) and
+//!      **adaptively widens** the window beyond the raw lookahead: the
+//!      upper bound starts at `min(earliest event of any other partition,
+//!      next tick, horizon + 1)` and clamps back to the earliest staged
+//!      cross-boundary arrival as dispatches transmit. Sparse phases —
+//!      coalescing-hold waits, RTO stalls, serialized request/response —
+//!      thus advance in one window instead of one barrier per lookahead.
+//!      Worked example: with 740 ns lookahead, a partition whose next
+//!      event is at t=1 000 while every other partition is idle until
+//!      t=2 000 000 (an RTO) would need ~2 700 raw epochs to reach it;
+//!      inline mode runs the whole gap in a single window, clamping only
+//!      when a transmit puts a frame on the wire (arrival at `t_x +
+//!      lookahead` caps the window so the frame's destination partition
+//!      re-enters the race at the right time).
+//!
+//!   3. **Serial window (the global stop vote)** — when several
+//!      partitions are active *and* one of them could stop. The
+//!      coordinator dispatches one event at a time in global `(time,
+//!      Key)` order across all partition queues within `[T0, raw_end)`,
+//!      resolving stamps and replaying effects immediately, and checks the
+//!      stop flag after every dispatch — so a `stop()` lands at the exact
+//!      serial stop ordinal and the run ends with byte-identical state.
+//!
+//!   Modes 2 and 3 are serial-order-exact by construction, which is what
+//!   makes the stop vote sound: a stop can only ever fire on the
+//!   coordinator, in global dispatch order. Widening multi-active windows
+//!   per-partition is *not* sound — two partitions replaying different
+//!   window bounds would interleave fabric RNG calls differently from the
+//!   serial engine — so adaptive widening is restricted to mode 2.
+//!
+//! * **Event-path flattening.** The coordinator owns persistent merge
+//!   scratch ([`MergeScratch`]), swap buffers for the per-partition
+//!   record/effect logs, and per-owner arrival staging vectors that are
+//!   bulk-pushed ([`ParQueue::push_batch`]) after each window — the
+//!   steady-state epoch loop allocates nothing.
+//!
+//! Wall-clock attribution of the phases (dispatch / merge / barrier /
+//! fast-forward) accumulates into process-global counters drained by
+//! [`take_engine_segments`].
 //!
 //! [`FabricConfig::lookahead_ns`]: omx_fabric::FabricConfig::lookahead_ns
+//! [`Actor::may_stop`]: crate::system::Actor::may_stop
+//! [`ActorCtx::stop`]: crate::system::ActorCtx::stop
 
 use crate::system::{Cluster, Ev, Shard, SimCtx, SystemModel, WireFrame};
 use crate::telemetry::PortTap;
 use crate::trace::{TraceData, TraceKind};
 use crate::wire::{NodeId, Packet};
 use omx_fabric::{PortId, TransmitOutcome};
-use omx_sim::par::{merge_order, Key, ParQueue, Rec, SpinBarrier, Stamp};
+use omx_sim::par::{merge_order_with, Key, MergeScratch, ParQueue, Rec, SpinBarrier, Stamp};
 use omx_sim::{EventToken, StopCondition, Time};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Per-segment engine time attribution
+// ---------------------------------------------------------------------------
+
+static SEG_DISPATCH_NS: AtomicU64 = AtomicU64::new(0);
+static SEG_MERGE_NS: AtomicU64 = AtomicU64::new(0);
+static SEG_BARRIER_NS: AtomicU64 = AtomicU64::new(0);
+static SEG_FAST_FORWARD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative wall-clock attribution of parallel-engine runs, drained by
+/// [`take_engine_segments`]. The segments overlap by construction (workers
+/// dispatch while the coordinator is blocked at a barrier), so they are an
+/// attribution, not a partition of the run's wall clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineSegments {
+    /// Event dispatch: worker epoch processing (summed across workers, so
+    /// concurrent epochs count each worker's wall time) plus the
+    /// coordinator-inline and serial-window modes.
+    pub dispatch_ns: u64,
+    /// Epoch merge: lineage replay of the logged effects, fabric
+    /// reinjection staging, and the arrival batch pushes.
+    pub merge_ns: u64,
+    /// Coordinator wall time blocked at the epoch barrier pair.
+    pub barrier_ns: u64,
+    /// Run epilogue: shard reassembly and the engine fast-forward.
+    pub fast_forward_ns: u64,
+}
+
+/// Drain the cumulative per-segment engine timers (swap-to-zero): each call
+/// returns the wall time accumulated since the previous call, across every
+/// parallel run on any thread.
+pub fn take_engine_segments() -> EngineSegments {
+    EngineSegments {
+        dispatch_ns: SEG_DISPATCH_NS.swap(0, Ordering::Relaxed),
+        merge_ns: SEG_MERGE_NS.swap(0, Ordering::Relaxed),
+        barrier_ns: SEG_BARRIER_NS.swap(0, Ordering::Relaxed),
+        fast_forward_ns: SEG_FAST_FORWARD_NS.swap(0, Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side state
+// ---------------------------------------------------------------------------
 
 /// One global side effect logged by a worker dispatch, replayed by the
-/// coordinator at the epoch barrier in serial dispatch order.
+/// coordinator in serial dispatch order.
 enum Effect {
     /// Open-MX packet handed to the fabric. `idx` is the push-intent index
     /// within the dispatch — the arrival's deterministic queue key.
@@ -93,10 +185,11 @@ struct WorkerShard {
     queue: ParQueue<Ev>,
     /// Dispatch counter — the `local_seq` of the next minted stamp.
     next_local_seq: u64,
-    /// Dispatch records of the current epoch, in pop order.
+    /// Dispatch records of the current epoch, in pop order (barrier mode
+    /// only; the inline modes resolve stamps immediately).
     recs: Vec<Rec>,
-    /// Flat effect log of the current epoch; `effect_counts[i]` effects
-    /// belong to `recs[i]`.
+    /// Flat effect log of the current epoch/dispatch; in barrier mode,
+    /// `effect_counts[i]` effects belong to `recs[i]`.
     effects: Vec<Effect>,
     effect_counts: Vec<u32>,
 }
@@ -192,11 +285,29 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Which partition owns global node `node` (`bases` is sorted, starts at 0).
+#[inline]
+fn owner_of(bases: &[u16], node: u16) -> usize {
+    bases.partition_point(|b| *b <= node) - 1
+}
+
+const DRAIN_STOP_MSG: &str = "ActorCtx::stop() during a parallel drain run \
+     (run_drain promises no actor stops; route stop-mode workloads through \
+     Cluster::run)";
+
 /// Drain one worker's queue up to (excluding) `epoch_end`, minting a
 /// lineage stamp per dispatch and logging global effects for the barrier
 /// replay. Events a dispatch schedules inside the epoch window are
-/// processed within the same epoch (the loop re-peeks).
-fn process_epoch(ws: &mut WorkerShard, shard_id: u32, epoch_end: Time, trace_on: bool) {
+/// processed within the same epoch (the loop re-peeks). Barrier mode only
+/// runs when no active partition can stop, so a stop here is always a
+/// broken contract.
+fn process_epoch(
+    ws: &mut WorkerShard,
+    shard_id: u32,
+    epoch_end: Time,
+    trace_on: bool,
+    stop_armed: bool,
+) {
     while ws.queue.peek_time().is_some_and(|t| t < epoch_end) {
         let (time, key, ev) = ws.queue.pop().expect("peeked event pops");
         let stamp = Stamp::new(time, shard_id, ws.next_local_seq);
@@ -211,12 +322,17 @@ fn process_epoch(ws: &mut WorkerShard, shard_id: u32, epoch_end: Time, trace_on:
             trace_on,
         };
         ws.shard.dispatch(time, ev, &mut ctx);
-        assert!(
-            !ws.shard.stop,
-            "ActorCtx::stop() during a parallel drain run (drain workloads \
-             run to quiescence; use the serial Cluster::run for stop-mode \
-             workloads)"
-        );
+        if ws.shard.stop {
+            if stop_armed {
+                panic!(
+                    "ActorCtx::stop() during a concurrent epoch: every actor \
+                     in this partition declared may_stop() == false, yet one \
+                     called stop() — fix that actor's may_stop()"
+                );
+            } else {
+                panic!("{}", DRAIN_STOP_MSG);
+            }
+        }
         ws.recs.push(Rec {
             stamp,
             parent: key.parent,
@@ -227,16 +343,187 @@ fn process_epoch(ws: &mut WorkerShard, shard_id: u32, epoch_end: Time, trace_on:
     }
 }
 
-/// Run `cluster` to quiescence (or the horizon) on `parts` worker threads.
+/// Replay one logged effect against the global model state (fabric with its
+/// disturbance RNG, tracer, sanitizer), staging any frame arrival into
+/// `arrivals[owner]` for the post-window batch push. Returns the arrival
+/// time when the effect put a frame on the wire that will land.
+fn replay_effect(
+    model: &mut SystemModel,
+    bases: &[u16],
+    stamp: &Arc<Stamp>,
+    eff: Effect,
+    arrivals: &mut [Vec<(Time, Key, Ev)>],
+) -> Option<Time> {
+    let mut stage = |model: &mut SystemModel,
+                     tx: Time,
+                     src: usize,
+                     dst: u16,
+                     wire_len: u32,
+                     idx: u32,
+                     pkt: WireFrame|
+     -> Option<Time> {
+        let outcome = model
+            .fabric
+            .transmit(tx, PortId(src), PortId(dst as usize), wire_len);
+        if let TransmitOutcome::Arrives(at) = outcome {
+            debug_assert!(
+                at.as_nanos() >= model.fabric.config().earliest_arrival_ns(tx.as_nanos()),
+                "lookahead violated: transmit at {tx:?} arrives at {at:?}"
+            );
+            arrivals[owner_of(bases, dst)].push((
+                at,
+                Key {
+                    parent: Arc::clone(stamp),
+                    idx,
+                },
+                Ev::FrameArrival { node: dst, pkt },
+            ));
+            Some(at)
+        } else {
+            None
+        }
+    };
+    match eff {
+        Effect::TxOmx { idx, t, pkt } => {
+            let (src, dst) = (pkt.hdr.src.node.0, pkt.hdr.dst.node.0);
+            let wire_len = pkt.wire_len();
+            stage(
+                model,
+                t,
+                src as usize,
+                dst,
+                wire_len,
+                idx,
+                WireFrame::Omx(pkt),
+            )
+        }
+        Effect::TxColl { idx, t, frame } => {
+            let (src, dst) = (frame.src_node, frame.dst_node);
+            let wire_len = frame.wire_len();
+            stage(
+                model,
+                t,
+                src as usize,
+                dst,
+                wire_len,
+                idx,
+                WireFrame::Coll(frame),
+            )
+        }
+        Effect::TxRaw {
+            idx,
+            t,
+            src,
+            dst,
+            payload_len,
+        } => {
+            let frame = WireFrame::Raw { payload_len };
+            stage(model, t, src as usize, dst.0, frame.wire_len(), idx, frame)
+        }
+        Effect::Trace {
+            at,
+            node,
+            kind,
+            data,
+        } => {
+            if let Some(tr) = model.tracer.as_mut() {
+                tr.record(at, node, kind, data);
+            }
+            None
+        }
+        Effect::SanPosted { src, dst, len } => {
+            model.sanitizer.on_send_posted(src, dst, len);
+            None
+        }
+        Effect::SanCompleted => {
+            model.sanitizer.on_send_completed();
+            None
+        }
+        Effect::SanDelivered { src, dst, msg, len } => {
+            model.sanitizer.on_delivered(src, dst, msg, len);
+            None
+        }
+    }
+}
+
+/// Pop and dispatch the head event of `ws`'s queue inline on the
+/// coordinator (modes 2 and 3): mint the stamp, dispatch, resolve the
+/// stamp to the next global ordinal immediately — the inline modes run in
+/// exact global dispatch order, so children and cross-queue comparisons
+/// always see a fully resolved key set — and replay the dispatch's effects
+/// on the spot. Returns the dispatch time, whether the dispatch stopped
+/// the run, and the earliest staged frame arrival (`u64::MAX` if none).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_inline(
+    model: &mut SystemModel,
+    ws: &mut WorkerShard,
+    sid: u32,
+    trace_on: bool,
+    stop_armed: bool,
+    bases: &[u16],
+    next_ord: &mut u64,
+    arrivals: &mut [Vec<(Time, Key, Ev)>],
+) -> (Time, bool, u64) {
+    let (time, _key, ev) = ws.queue.pop().expect("active partition pops");
+    let stamp = Stamp::new(time, sid, ws.next_local_seq);
+    ws.next_local_seq += 1;
+    let mut ctx = ParCtx {
+        queue: &mut ws.queue,
+        effects: &mut ws.effects,
+        parent: &stamp,
+        idx: 0,
+        now: time,
+        trace_on,
+    };
+    ws.shard.dispatch(time, ev, &mut ctx);
+    stamp.resolve(*next_ord);
+    *next_ord += 1;
+    let mut min_arrival = u64::MAX;
+    for eff in ws.effects.drain(..) {
+        if let Some(at) = replay_effect(model, bases, &stamp, eff, arrivals) {
+            min_arrival = min_arrival.min(at.as_nanos());
+        }
+    }
+    let stopped = ws.shard.stop;
+    if stopped && !stop_armed {
+        panic!("{}", DRAIN_STOP_MSG);
+    }
+    (time, stopped, min_arrival)
+}
+
+/// Coordinator-persistent swap buffers for the barrier-mode merge: workers
+/// swap their filled record/effect logs for these (emptied, capacity
+/// retained) vectors at each merge, so the steady-state epoch loop
+/// allocates nothing.
+struct MergeBufs {
+    recs: Vec<Vec<Rec>>,
+    effs: Vec<Vec<Effect>>,
+    counts: Vec<Vec<u32>>,
+}
+
+/// Run `cluster` on `parts` partitions until quiescence, the horizon, or —
+/// when `stop_armed` — an actor-requested stop.
 ///
-/// Called only from [`Cluster::run_drain`], which owns the eligibility
-/// check (not started, ≥ 2 nodes, lookahead ≥ 1 ns) and the post-run
-/// bookkeeping (closing the telemetry window, the quiescence sanitize).
-pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize) -> StopCondition {
+/// Called only from [`Cluster::run`] / [`Cluster::run_drain`], which own
+/// the eligibility check (not started, ≥ 2 nodes, lookahead ≥ 1 ns) and
+/// the post-run bookkeeping (closing the telemetry window, the quiescence
+/// sanitize). With `stop_armed == false` (the drain contract) any
+/// `ActorCtx::stop` panics; with `stop_armed == true` the run ends at the
+/// exact serial stop ordinal via the window modes described in the module
+/// docs.
+///
+/// In parallel mode a horizon cut or a stop discards in-flight events past
+/// the cut (the serial path keeps them queued for a follow-up `run`).
+pub(crate) fn run_parallel(
+    cluster: &mut Cluster,
+    horizon: Time,
+    parts: usize,
+    stop_armed: bool,
+) -> StopCondition {
     let tick_period = cluster.engine.tick_period_ns();
     let model = cluster.engine.model_mut();
     let lookahead_ns = model.fabric.config().lookahead_ns();
-    debug_assert!(lookahead_ns >= 1, "parallel drain needs positive lookahead");
+    debug_assert!(lookahead_ns >= 1, "parallel run needs positive lookahead");
     let trace_on = model.tracer.is_some();
     let keys = model.shard.actor_keys_sorted();
 
@@ -255,24 +542,23 @@ pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize)
             })
         })
         .collect();
-    let bases: Vec<u16> = workers
+    // Per-partition stop capability, sampled once: drives the window-mode
+    // choice (see module docs). Partitions whose actors all declare
+    // may_stop() == false never force the serial window.
+    let (bases, can_stop): (Vec<u16>, Vec<bool>) = workers
         .iter_mut()
         .map(|w| {
-            w.get_mut()
-                .unwrap_or_else(PoisonError::into_inner)
-                .shard
-                .base
+            let ws = w.get_mut().unwrap_or_else(PoisonError::into_inner);
+            (ws.shard.base, ws.shard.may_stop())
         })
-        .collect();
-    // Which worker owns global node `n` (bases are sorted and start at 0).
-    let owner = |node: u16| bases.partition_point(|b| *b <= node) - 1;
+        .unzip();
 
     // Prime AppStart in global sorted-key order with root-lineage keys:
     // (time 0, root ordinal 0, idx i) reproduces the serial engine's
     // priming pop order exactly.
     let root = Stamp::root();
     for (i, &(node, ep)) in keys.iter().enumerate() {
-        let ws = workers[owner(node)]
+        let ws = workers[owner_of(&bases, node)]
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner);
         ws.queue.push(
@@ -299,8 +585,19 @@ pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize)
     let mut now = Time(0);
     let mut next_tick = tick_period.unwrap_or(u64::MAX);
     let mut stop = StopCondition::QueueEmpty;
+    let horizon_bound = horizon.as_nanos().saturating_add(1);
 
-    std::thread::scope(|scope| {
+    // Persistent coordinator state: merge scratch, swap buffers, and the
+    // per-owner arrival staging — zero steady-state allocation.
+    let mut scratch = MergeScratch::new();
+    let mut bufs = MergeBufs {
+        recs: (0..parts).map(|_| Vec::new()).collect(),
+        effs: (0..parts).map(|_| Vec::new()).collect(),
+        counts: (0..parts).map(|_| Vec::new()).collect(),
+    };
+    let mut arrivals: Vec<Vec<(Time, Key, Ev)>> = (0..parts).map(|_| Vec::new()).collect();
+
+    let coord = std::thread::scope(|scope| {
         for (sid, w) in workers.iter().enumerate() {
             let (start, finish, epoch_end) = (&start, &finish, &epoch_end);
             let (done, abort, panic_box) = (&done, &abort, &panic_box);
@@ -314,9 +611,11 @@ pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize)
                 // coordinator can shut everything down cleanly.
                 if !abort.load(Ordering::Relaxed) {
                     let end = Time(epoch_end.load(Ordering::Acquire));
+                    let t = Instant::now();
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        process_epoch(&mut lock(w), sid as u32, end, trace_on);
+                        process_epoch(&mut lock(w), sid as u32, end, trace_on, stop_armed);
                     }));
+                    SEG_DISPATCH_NS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     if let Err(p) = r {
                         *lock(panic_box) = Some(p);
                         abort.store(true, Ordering::Release);
@@ -328,194 +627,256 @@ pub(crate) fn drain_parallel(cluster: &mut Cluster, horizon: Time, parts: usize)
 
         // Coordinator. Between `finish.wait()` and the next `start.wait()`
         // every worker is parked at the start barrier, so locking their
-        // mutexes here is uncontended by construction.
-        loop {
-            let t0 = workers
-                .iter()
-                .filter_map(|w| lock(w).queue.peek_time())
-                .min();
-            let Some(t0) = t0 else {
-                stop = StopCondition::QueueEmpty;
-                break;
-            };
-            if t0 > horizon {
-                now = horizon;
-                stop = StopCondition::HorizonReached;
-                break;
-            }
-            // Fire the telemetry ticks the serial engine would fire before
-            // dispatching the next event: every unfired boundary ≤ T0. All
-            // events earlier than T0 have been merged, so the tick observes
-            // exactly the serial state.
-            if let Some(p) = tick_period {
-                while next_tick <= t0.as_nanos() {
-                    fire_tick(model, Time(next_tick), &workers);
-                    next_tick += p;
+        // mutexes here is uncontended by construction. Panics (actor
+        // asserts in the inline modes, merge invariants) are caught so the
+        // workers can be released before unwinding — otherwise the scope
+        // join would deadlock against the parked barrier.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            'run: loop {
+                let mut guards: Vec<MutexGuard<'_, WorkerShard>> =
+                    workers.iter().map(lock).collect();
+                let Some(t0) = guards.iter().filter_map(|g| g.queue.peek_time()).min() else {
+                    stop = StopCondition::QueueEmpty;
+                    break 'run;
+                };
+                if t0 > horizon {
+                    now = horizon;
+                    stop = StopCondition::HorizonReached;
+                    break 'run;
                 }
-            }
-            // The epoch never crosses a tick boundary (ticks must observe
-            // all events below the boundary first) nor the horizon; it
-            // always admits the T0 event, so the run terminates.
-            let end = t0
-                .as_nanos()
-                .saturating_add(lookahead_ns)
-                .min(next_tick)
-                .min(horizon.as_nanos().saturating_add(1));
-            epoch_end.store(end, Ordering::Release);
-            start.wait();
-            // ... workers drain their queues up to `end` ...
-            finish.wait();
-            if abort.load(Ordering::Acquire) {
-                break;
-            }
-
-            // Merge the epoch: replay every logged effect in exact serial
-            // dispatch order against the fabric / tracer / sanitizer, and
-            // enqueue cross-shard arrivals with deterministic keys.
-            let mut guards: Vec<MutexGuard<'_, WorkerShard>> = workers.iter().map(lock).collect();
-            let mut recs: Vec<Vec<Rec>> = Vec::with_capacity(parts);
-            let mut effs = Vec::with_capacity(parts);
-            let mut counts: Vec<Vec<u32>> = Vec::with_capacity(parts);
-            for g in &mut guards {
-                recs.push(std::mem::take(&mut g.recs));
-                effs.push(std::mem::take(&mut g.effects).into_iter());
-                counts.push(std::mem::take(&mut g.effect_counts));
-            }
-            merge_order(&recs, &mut next_ord, |s, i, rec| {
-                now = rec.stamp.time;
-                total_events += 1;
-                for _ in 0..counts[s][i] {
-                    // Within one shard the merge visits records in pop
-                    // order, so each shard's flat effect log is consumed
-                    // strictly front to back.
-                    match effs[s].next().expect("effect log in sync with recs") {
-                        Effect::TxOmx { idx, t, pkt } => {
-                            let (src, dst) = (pkt.hdr.src.node.0, pkt.hdr.dst.node.0);
-                            let outcome = model.fabric.transmit(
-                                t,
-                                PortId(src as usize),
-                                PortId(dst as usize),
-                                pkt.wire_len(),
-                            );
-                            if let TransmitOutcome::Arrives(at) = outcome {
-                                debug_assert!(
-                                    at.as_nanos() >= end,
-                                    "lookahead violated: arrival {at:?} inside epoch ending {end}"
-                                );
-                                guards[owner(dst)].queue.push(
-                                    at,
-                                    Key {
-                                        parent: Arc::clone(&rec.stamp),
-                                        idx,
-                                    },
-                                    Ev::FrameArrival {
-                                        node: dst,
-                                        pkt: WireFrame::Omx(pkt),
-                                    },
-                                );
-                            }
-                        }
-                        Effect::TxColl { idx, t, frame } => {
-                            let outcome = model.fabric.transmit(
-                                t,
-                                PortId(frame.src_node as usize),
-                                PortId(frame.dst_node as usize),
-                                frame.wire_len(),
-                            );
-                            if let TransmitOutcome::Arrives(at) = outcome {
-                                debug_assert!(at.as_nanos() >= end);
-                                guards[owner(frame.dst_node)].queue.push(
-                                    at,
-                                    Key {
-                                        parent: Arc::clone(&rec.stamp),
-                                        idx,
-                                    },
-                                    Ev::FrameArrival {
-                                        node: frame.dst_node,
-                                        pkt: WireFrame::Coll(frame),
-                                    },
-                                );
-                            }
-                        }
-                        Effect::TxRaw {
-                            idx,
-                            t,
-                            src,
-                            dst,
-                            payload_len,
-                        } => {
-                            let frame = WireFrame::Raw { payload_len };
-                            let outcome = model.fabric.transmit(
-                                t,
-                                PortId(src as usize),
-                                PortId(dst.0 as usize),
-                                frame.wire_len(),
-                            );
-                            if let TransmitOutcome::Arrives(at) = outcome {
-                                debug_assert!(at.as_nanos() >= end);
-                                guards[owner(dst.0)].queue.push(
-                                    at,
-                                    Key {
-                                        parent: Arc::clone(&rec.stamp),
-                                        idx,
-                                    },
-                                    Ev::FrameArrival {
-                                        node: dst.0,
-                                        pkt: frame,
-                                    },
-                                );
-                            }
-                        }
-                        Effect::Trace {
-                            at,
-                            node,
-                            kind,
-                            data,
-                        } => {
-                            if let Some(t) = model.tracer.as_mut() {
-                                t.record(at, node, kind, data);
-                            }
-                        }
-                        Effect::SanPosted { src, dst, len } => {
-                            model.sanitizer.on_send_posted(src, dst, len);
-                        }
-                        Effect::SanCompleted => model.sanitizer.on_send_completed(),
-                        Effect::SanDelivered { src, dst, msg, len } => {
-                            model.sanitizer.on_delivered(src, dst, msg, len);
-                        }
+                // Fire the telemetry ticks the serial engine would fire
+                // before dispatching the next event: every unfired boundary
+                // ≤ T0. All events earlier than T0 have been dispatched, so
+                // the tick observes exactly the serial state.
+                if let Some(p) = tick_period {
+                    while next_tick <= t0.as_nanos() {
+                        fire_tick(model, Time(next_tick), &mut guards);
+                        next_tick += p;
                     }
                 }
-            });
-        }
+                // The window never crosses a tick boundary (ticks must
+                // observe all events below the boundary first) nor the
+                // horizon; it always admits the T0 event, so the run
+                // terminates.
+                let raw_end = t0
+                    .as_nanos()
+                    .saturating_add(lookahead_ns)
+                    .min(next_tick)
+                    .min(horizon_bound);
+                let mut active_n = 0usize;
+                let mut active_sid = 0usize;
+                let mut stop_in_window = false;
+                for (s, g) in guards.iter().enumerate() {
+                    if g.queue.peek_time().is_some_and(|t| t.as_nanos() < raw_end) {
+                        active_n += 1;
+                        active_sid = s;
+                        stop_in_window |= can_stop[s];
+                    }
+                }
+                debug_assert!(active_n >= 1, "T0 partition must be active");
+
+                if active_n == 1 {
+                    // Mode 2: single-active inline with adaptive widening.
+                    let sid = active_sid;
+                    let f_other = guards
+                        .iter()
+                        .enumerate()
+                        .filter(|&(s, _)| s != sid)
+                        .filter_map(|(_, g)| g.queue.peek_time())
+                        .map(|t| t.as_nanos())
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    debug_assert!(f_other >= raw_end, "inactive partition inside raw window");
+                    let mut end = f_other.min(next_tick).min(horizon_bound);
+                    let t_win = Instant::now();
+                    let mut stopped = false;
+                    while guards[sid]
+                        .queue
+                        .peek_time()
+                        .is_some_and(|t| t.as_nanos() < end)
+                    {
+                        let (time, stop_hit, min_arrival) = dispatch_inline(
+                            model,
+                            &mut guards[sid],
+                            sid as u32,
+                            trace_on,
+                            stop_armed,
+                            &bases,
+                            &mut next_ord,
+                            &mut arrivals,
+                        );
+                        now = time;
+                        total_events += 1;
+                        // Clamp back on contact: the window must end at or
+                        // before the first cross-boundary arrival so the
+                        // destination partition re-enters the race in time.
+                        end = end.min(min_arrival);
+                        if stop_hit {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    for (s, g) in guards.iter_mut().enumerate() {
+                        g.queue.push_batch(&mut arrivals[s]);
+                    }
+                    SEG_DISPATCH_NS.fetch_add(t_win.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if stopped {
+                        stop = StopCondition::PredicateSatisfied;
+                        break 'run;
+                    }
+                    continue 'run;
+                }
+
+                if stop_armed && stop_in_window {
+                    // Mode 3: serial window — the global stop vote. One
+                    // dispatch at a time in global (time, Key) order across
+                    // all partition queues within [T0, raw_end); every key
+                    // parent is resolved (earlier windows resolved theirs,
+                    // this window resolves per dispatch), so cross-queue
+                    // comparison is exact.
+                    let t_win = Instant::now();
+                    let mut stopped = false;
+                    loop {
+                        let best = {
+                            let heads: Vec<Option<(Time, &Key)>> =
+                                guards.iter().map(|g| g.queue.peek()).collect();
+                            let mut best: Option<usize> = None;
+                            for (s, h) in heads.iter().enumerate() {
+                                let Some((t, k)) = h else { continue };
+                                if t.as_nanos() >= raw_end {
+                                    continue;
+                                }
+                                best = match best {
+                                    None => Some(s),
+                                    Some(b) => {
+                                        let (bt, bk) = heads[b].expect("best head stays live");
+                                        if *t < bt
+                                            || (*t == bt
+                                                && k.cmp_key(bk) == std::cmp::Ordering::Less)
+                                        {
+                                            Some(s)
+                                        } else {
+                                            Some(b)
+                                        }
+                                    }
+                                };
+                            }
+                            best
+                        };
+                        let Some(sid) = best else { break };
+                        let (time, stop_hit, _) = dispatch_inline(
+                            model,
+                            &mut guards[sid],
+                            sid as u32,
+                            trace_on,
+                            stop_armed,
+                            &bases,
+                            &mut next_ord,
+                            &mut arrivals,
+                        );
+                        now = time;
+                        total_events += 1;
+                        if stop_hit {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                    for (s, g) in guards.iter_mut().enumerate() {
+                        g.queue.push_batch(&mut arrivals[s]);
+                    }
+                    SEG_DISPATCH_NS.fetch_add(t_win.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if stopped {
+                        stop = StopCondition::PredicateSatisfied;
+                        break 'run;
+                    }
+                    continue 'run;
+                }
+
+                // Mode 1: parallel barrier epoch.
+                epoch_end.store(raw_end, Ordering::Release);
+                drop(guards);
+                let t_bar = Instant::now();
+                start.wait();
+                // ... workers drain their queues up to `raw_end` ...
+                finish.wait();
+                SEG_BARRIER_NS.fetch_add(t_bar.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if abort.load(Ordering::Acquire) {
+                    break 'run;
+                }
+
+                // Merge the epoch: replay every logged effect in exact
+                // serial dispatch order against the fabric / tracer /
+                // sanitizer, staging cross-shard arrivals per owner for the
+                // batch push. Workers swap their filled logs for last
+                // epoch's emptied buffers — capacities ping-pong.
+                let t_merge = Instant::now();
+                let mut guards: Vec<MutexGuard<'_, WorkerShard>> =
+                    workers.iter().map(lock).collect();
+                for (s, g) in guards.iter_mut().enumerate() {
+                    std::mem::swap(&mut g.recs, &mut bufs.recs[s]);
+                    std::mem::swap(&mut g.effects, &mut bufs.effs[s]);
+                    std::mem::swap(&mut g.effect_counts, &mut bufs.counts[s]);
+                }
+                {
+                    let MergeBufs { recs, effs, counts } = &mut bufs;
+                    let counts: &[Vec<u32>] = counts;
+                    let mut effs: Vec<std::vec::Drain<'_, Effect>> =
+                        effs.iter_mut().map(|v| v.drain(..)).collect();
+                    merge_order_with(&mut scratch, recs, &mut next_ord, |s, i, rec| {
+                        now = rec.stamp.time;
+                        total_events += 1;
+                        for _ in 0..counts[s][i] {
+                            // Within one shard the merge visits records in
+                            // pop order, so each shard's flat effect log is
+                            // consumed strictly front to back.
+                            let eff = effs[s].next().expect("effect log in sync with recs");
+                            replay_effect(model, &bases, &rec.stamp, eff, &mut arrivals);
+                        }
+                    });
+                }
+                for (s, g) in guards.iter_mut().enumerate() {
+                    g.queue.push_batch(&mut arrivals[s]);
+                    bufs.recs[s].clear();
+                    bufs.counts[s].clear();
+                }
+                SEG_MERGE_NS.fetch_add(t_merge.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }));
 
         done.store(true, Ordering::Release);
         start.wait();
+        r
     });
 
     if let Some(p) = lock(&panic_box).take() {
         resume_unwind(p);
     }
+    if let Err(p) = coord {
+        resume_unwind(p);
+    }
 
+    let t_ff = Instant::now();
     for w in workers {
         let ws = w.into_inner().unwrap_or_else(PoisonError::into_inner);
         model.shard.absorb(ws.shard);
     }
     cluster.engine.fast_forward(now, total_events);
+    SEG_FAST_FORWARD_NS.fetch_add(t_ff.elapsed().as_nanos() as u64, Ordering::Relaxed);
     stop
 }
 
 /// Close the telemetry window ending at `end`: the split-shard equivalent
-/// of `SystemModel::sample_telemetry`. Workers are parked at the start
-/// barrier when this runs, so their locks are free.
-fn fire_tick(model: &mut SystemModel, end: Time, workers: &[Mutex<WorkerShard>]) {
+/// of `SystemModel::sample_telemetry`. The coordinator already holds every
+/// worker's lock when this runs.
+fn fire_tick(model: &mut SystemModel, end: Time, guards: &mut [MutexGuard<'_, WorkerShard>]) {
     let Some(tel) = model.telemetry.as_mut() else {
         return;
     };
     if !tel.begin_window(end) {
         return;
     }
-    for w in workers {
-        lock(w).shard.sample_nodes(tel);
+    for g in guards.iter() {
+        g.shard.sample_nodes(tel);
     }
     for p in 0..model.fabric.ports() {
         tel.sample_port(

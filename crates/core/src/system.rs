@@ -253,6 +253,22 @@ pub trait Actor: Any + Send {
     fn blocking_waits(&self) -> bool {
         false
     }
+    /// Whether this actor can ever call [`ActorCtx::stop`] during this run.
+    ///
+    /// The parallel engine uses this to schedule the global stop vote: an
+    /// epoch that dispatches only actors with `may_stop() == false` can run
+    /// its partitions concurrently, while epochs touching a stop-capable
+    /// actor are dispatched in exact serial order so the run ends at the
+    /// same stop ordinal the serial engine would pick. The default is the
+    /// conservative `true`; pure responders (echoers, sinks, sources that
+    /// run to quiescence) should override to `false` to stay eligible for
+    /// parallel dispatch. Must be constant over the actor's lifetime — the
+    /// engine samples it once at partition time — and an actor returning
+    /// `false` here must never call `stop()` (the engine panics if one
+    /// does).
+    fn may_stop(&self) -> bool {
+        true
+    }
     /// Upcast for report extraction after the run.
     fn as_any(&self) -> &dyn Any;
 }
@@ -750,6 +766,14 @@ impl Shard {
         let mut keys: Vec<(u16, u8)> = self.actors.keys().copied().collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// Whether any actor in this shard may call [`ActorCtx::stop`]
+    /// (see [`Actor::may_stop`]). Sampled once per run, right after the
+    /// split, to classify each partition for the parallel engine's global
+    /// stop vote.
+    pub(crate) fn may_stop(&self) -> bool {
+        self.actors.values().any(|a| a.may_stop())
     }
 
     /// Split this shard into `parts` contiguous sub-shards, moving all node
@@ -1596,20 +1620,47 @@ impl Cluster {
         );
     }
 
-    /// Run until quiescence, the horizon, or an actor-requested stop.
-    pub fn run(&mut self, horizon: Time) -> StopCondition {
-        if !self.started {
-            self.started = true;
-            let mut keys: Vec<(u16, u8)> =
-                self.engine.model().shard.actors.keys().copied().collect();
-            keys.sort_unstable();
-            for (node, ep) in keys {
-                self.engine.prime(Time::ZERO, Ev::AppStart { node, ep });
+    /// Parallel-engine eligibility for the next run: `Some(parts)` when
+    /// [`omx_sim::pool::effective_sim_jobs`] exceeds 1 and this run shape
+    /// can be partitioned, `None` for the serial engine. Requesting
+    /// `--sim-jobs` on a shape that still forces serial emits a one-shot
+    /// stderr warning naming the reason — a silent serial fallback would
+    /// make every "--sim-jobs made no difference" report a debugging
+    /// session.
+    fn parallel_parts(&self) -> Option<usize> {
+        let jobs = omx_sim::pool::effective_sim_jobs();
+        if jobs <= 1 {
+            return None;
+        }
+        let m = self.engine.model();
+        let reason = if self.started {
+            Some("the cluster already ran (mid-run state cannot be partitioned)")
+        } else if m.shard.cfg.nodes < 2 {
+            Some("the cluster has a single node (nothing to partition)")
+        } else if m.fabric.config().lookahead_ns() == 0 {
+            Some("the fabric lookahead is zero (disturbance jitter swallows the minimum transit time)")
+        } else {
+            None
+        };
+        match reason {
+            None => Some(jobs.min(m.shard.cfg.nodes)),
+            Some(reason) => {
+                use std::sync::atomic::{AtomicBool, Ordering};
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: --sim-jobs {jobs} requested but this run \
+                         uses the serial engine: {reason}"
+                    );
+                }
+                None
             }
         }
-        let stop = self
-            .engine
-            .run_until(horizon, u64::MAX, |m: &SystemModel| m.shard.stop);
+    }
+
+    /// Shared run epilogue: close the open telemetry window and, at
+    /// quiescence, assert the sanitizer invariants.
+    fn finish_run(&mut self, stop: StopCondition) -> StopCondition {
         // Ticks only fire while events flow, so the tail of the run — from
         // the last aligned boundary to the final event — is still an open
         // window. Close it at the stop point (idempotent; skipped when the
@@ -1638,48 +1689,50 @@ impl Cluster {
         stop
     }
 
-    /// Run until quiescence or the horizon — [`Cluster::run`] without a
-    /// stop predicate — and eligible for the conservative parallel engine
-    /// (DESIGN §12) when [`omx_sim::pool::effective_sim_jobs`] exceeds 1.
+    /// Run until quiescence, the horizon, or an actor-requested stop.
     ///
-    /// Observable output (metrics, telemetry, trace, sanitizer report) is
-    /// byte-identical to the serial engine at any worker count. Falls back
-    /// to the serial path when the run has already started, the cluster has
-    /// fewer than two nodes, or the fabric lookahead is zero (disturbance
-    /// jitter can cancel the minimum transit time).
-    ///
-    /// An actor calling `stop()` during a parallel drain panics — drain
-    /// workloads run to quiescence by construction. A horizon cut in
-    /// parallel mode discards in-flight events past the horizon (the serial
-    /// path keeps them queued for a follow-up `run`).
-    pub fn run_drain(&mut self, horizon: Time) -> StopCondition {
-        let jobs = omx_sim::pool::effective_sim_jobs();
-        let eligible = {
-            let m = self.engine.model();
-            !self.started
-                && jobs > 1
-                && m.shard.cfg.nodes >= 2
-                && m.fabric.config().lookahead_ns() > 0
-        };
-        if !eligible {
-            return self.run(horizon);
+    /// Eligible for the conservative parallel engine (DESIGN §12) when
+    /// [`omx_sim::pool::effective_sim_jobs`] exceeds 1: the global stop
+    /// vote dispatches stop-capable epochs in exact serial order, so the
+    /// run ends at the same stop ordinal — and with byte-identical metrics,
+    /// telemetry, trace and sanitizer output — as the serial engine, at
+    /// any worker count. A horizon cut in parallel mode discards in-flight
+    /// events past the horizon (the serial path keeps them queued for a
+    /// follow-up `run`); no workload in this repo re-runs a cluster after
+    /// a horizon cut.
+    pub fn run(&mut self, horizon: Time) -> StopCondition {
+        if let Some(parts) = self.parallel_parts() {
+            self.started = true;
+            let stop = crate::par_run::run_parallel(self, horizon, parts, true);
+            return self.finish_run(stop);
         }
-        self.started = true;
-        let parts = jobs.min(self.engine.model().shard.cfg.nodes);
-        let stop = crate::par_run::drain_parallel(self, horizon, parts);
-        if stop == StopCondition::QueueEmpty {
-            let now = self.engine.now();
-            self.engine.model_mut().sample_telemetry(now);
-            if cfg!(debug_assertions) {
-                let report = self.sanitize();
-                assert!(
-                    report.violations.is_empty(),
-                    "sim sanitizer: liveness violations at quiescence:\n  {}",
-                    report.violations.join("\n  ")
-                );
+        if !self.started {
+            self.started = true;
+            let mut keys: Vec<(u16, u8)> =
+                self.engine.model().shard.actors.keys().copied().collect();
+            keys.sort_unstable();
+            for (node, ep) in keys {
+                self.engine.prime(Time::ZERO, Ev::AppStart { node, ep });
             }
         }
-        stop
+        let stop = self
+            .engine
+            .run_until(horizon, u64::MAX, |m: &SystemModel| m.shard.stop);
+        self.finish_run(stop)
+    }
+
+    /// Run until quiescence or the horizon — [`Cluster::run`] with the
+    /// promise that no actor calls `stop()` (the parallel engine panics if
+    /// one does). Drain workloads take this path so every epoch stays
+    /// eligible for concurrent dispatch regardless of
+    /// [`Actor::may_stop`] declarations.
+    pub fn run_drain(&mut self, horizon: Time) -> StopCondition {
+        if let Some(parts) = self.parallel_parts() {
+            self.started = true;
+            let stop = crate::par_run::run_parallel(self, horizon, parts, false);
+            return self.finish_run(stop);
+        }
+        self.run(horizon)
     }
 
     /// Check the sim-sanitizer invariants against the current state: the

@@ -134,6 +134,11 @@ impl TransferReceiver {
 }
 
 impl Actor for TransferReceiver {
+    /// Echo-only endpoint: the sender owns the `stop()` call.
+    fn may_stop(&self) -> bool {
+        false
+    }
+
     fn blocking_waits(&self) -> bool {
         true
     }

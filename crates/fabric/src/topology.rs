@@ -84,6 +84,15 @@ impl FabricConfig {
         self.min_transit_ns()
             .saturating_sub(self.disturbance.jitter_ns)
     }
+
+    /// Earliest possible arrival, in nanoseconds, of a frame handed to the
+    /// fabric at `tx_ns` — the cross-partition intent bound the adaptive
+    /// epoch scheduler clamps against. Saturates at `u64::MAX` so callers
+    /// can fold it into a running `min` with "no intent in flight"
+    /// represented as `u64::MAX`.
+    pub fn earliest_arrival_ns(&self, tx_ns: u64) -> u64 {
+        tx_ns.saturating_add(self.lookahead_ns())
+    }
 }
 
 /// Result of submitting a frame to the fabric.
@@ -334,6 +343,13 @@ mod tests {
         // Pathological jitter swallows the transit floor: no safe lookahead.
         jittery.disturbance.jitter_ns = u64::MAX;
         assert_eq!(jittery.lookahead_ns(), 0);
+    }
+
+    #[test]
+    fn earliest_arrival_is_tx_plus_lookahead_and_saturates() {
+        let cfg = FabricConfig::default();
+        assert_eq!(cfg.earliest_arrival_ns(1_000), 1_000 + cfg.lookahead_ns());
+        assert_eq!(cfg.earliest_arrival_ns(u64::MAX - 1), u64::MAX);
     }
 
     #[test]

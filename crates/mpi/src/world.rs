@@ -203,9 +203,12 @@ impl MpiWorld {
                 Box::new(actor),
             );
         }
-        // Drain runs have no stop predicate, which makes them eligible for
-        // the conservative parallel engine (`--sim-jobs`); output is
-        // byte-identical to the serial path either way.
+        // Both paths are `--sim-jobs`-eligible: drain runs promise no stop
+        // (every epoch may run concurrently), while stop-when-done runs go
+        // through the engine's global stop vote (rank-touching epochs are
+        // dispatched in exact serial order so the run ends at the serial
+        // stop ordinal). Output is byte-identical to the serial path
+        // either way.
         let stop = if drain {
             self.cluster.run_drain(Time::from_secs(3_600))
         } else {

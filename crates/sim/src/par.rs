@@ -218,6 +218,32 @@ impl<E> ParQueue<E> {
         self.heap.first().map(|&s| self.slots[s as usize].time)
     }
 
+    /// The `(time, Key)`-minimal entry without removing it, if any.
+    ///
+    /// The coordinator's serial-window mode uses this to pick the globally
+    /// next dispatch across all partition queues without committing a pop.
+    pub fn peek(&self) -> Option<(Time, &Key)> {
+        let &slot = self.heap.first()?;
+        let s = &self.slots[slot as usize];
+        Some((
+            s.time,
+            &s.entry.as_ref().expect("live slot without entry").0,
+        ))
+    }
+
+    /// Bulk-push a batch of events drained from a coordinator-side staging
+    /// buffer (same-epoch fabric reinjections grouped per owner partition).
+    ///
+    /// Order within the batch is irrelevant to correctness: the heap's pop
+    /// order is the total order `(time, Key)` and every `(parent, idx)` pair
+    /// identifies a unique event, so any insertion order yields the same
+    /// pop sequence.
+    pub fn push_batch(&mut self, batch: &mut Vec<(Time, Key, E)>) {
+        for (time, key, event) in batch.drain(..) {
+            self.push(time, key, event);
+        }
+    }
+
     /// Queue `event` at `time` with serial-order key `key`.
     pub fn push(&mut self, time: Time, key: Key, event: E) -> EventToken {
         let slot = if self.free_head != NIL {
@@ -417,6 +443,40 @@ pub struct Rec {
     pub parent_idx: u32,
 }
 
+/// Ready-heap key of [`merge_order_with`]: the serial pop order
+/// `(time, parent ordinal, push index)`. The `(shard, index)` tail is never
+/// reached by distinct records — a `(parent, idx)` pair identifies one
+/// pushed event.
+type ReadyKey = (u64, u64, u32, u32, u32);
+
+/// Reusable scratch for [`merge_order_with`].
+///
+/// The merge needs a child-index map, a ready heap, and one `Vec` per
+/// epoch-internal parent; allocating them per epoch shows up at high
+/// epoch rates (sparse phases merge a handful of records per barrier).
+/// Keeping the scratch on the coordinator makes the steady-state merge
+/// allocation-free: the map and heap retain capacity across epochs and
+/// drained child vectors return to a pool.
+#[derive(Default)]
+pub struct MergeScratch {
+    /// Records whose parent dispatch is itself part of this epoch, keyed
+    /// by the parent's `(shard, local_seq)` identity; released when the
+    /// parent resolves.
+    children: HashMap<(u32, u64), Vec<(u32, u32)>>,
+    ready: BinaryHeap<Reverse<ReadyKey>>,
+    /// Emptied child vectors, kept for reuse.
+    pool: Vec<Vec<(u32, u32)>>,
+    #[cfg(debug_assertions)]
+    cursors: Vec<usize>,
+}
+
+impl MergeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Replay one epoch's dispatch records from all shards in exact serial
 /// dispatch order, resolving each record's stamp to its global ordinal.
 ///
@@ -430,7 +490,15 @@ pub struct Rec {
 ///
 /// Panics if the records do not form a consistent epoch (a record's
 /// unresolved parent must itself be a record of this epoch).
-pub fn merge_order(
+pub fn merge_order(shards: &[Vec<Rec>], next_ord: &mut u64, visit: impl FnMut(usize, usize, &Rec)) {
+    merge_order_with(&mut MergeScratch::new(), shards, next_ord, visit);
+}
+
+/// [`merge_order`] with caller-owned [`MergeScratch`] — allocation-free in
+/// the steady state. The scratch is left empty (capacity retained) on
+/// return, ready for the next epoch.
+pub fn merge_order_with(
+    scratch: &mut MergeScratch,
     shards: &[Vec<Rec>],
     next_ord: &mut u64,
     mut visit: impl FnMut(usize, usize, &Rec),
@@ -439,25 +507,19 @@ pub fn merge_order(
     if total == 0 {
         return;
     }
-    // Records whose parent dispatch is itself part of this epoch, keyed by
-    // the parent's (shard, local_seq) identity; released when it resolves.
-    let mut children: HashMap<(u32, u64), Vec<(u32, u32)>> = HashMap::new();
-    // Ready records, keyed by the serial pop order (time, parent ordinal,
-    // push index). The (shard, index) tail is never reached by distinct
-    // records — a (parent, idx) pair identifies one pushed event.
-    type ReadyKey = (u64, u64, u32, u32, u32);
-    let mut ready: BinaryHeap<Reverse<ReadyKey>> = BinaryHeap::new();
+    debug_assert!(scratch.children.is_empty() && scratch.ready.is_empty());
     for (s, recs) in shards.iter().enumerate() {
         for (i, rec) in recs.iter().enumerate() {
             debug_assert_eq!(rec.stamp.shard as usize, s);
             let pord = rec.parent.ord();
             if pord == UNRESOLVED {
-                children
+                scratch
+                    .children
                     .entry((rec.parent.shard, rec.parent.local_seq))
-                    .or_default()
+                    .or_insert_with(|| scratch.pool.pop().unwrap_or_default())
                     .push((s as u32, i as u32));
             } else {
-                ready.push(Reverse((
+                scratch.ready.push(Reverse((
                     rec.stamp.time.as_nanos(),
                     pord,
                     rec.parent_idx,
@@ -469,25 +531,34 @@ pub fn merge_order(
     }
     let mut visited = 0usize;
     #[cfg(debug_assertions)]
-    let mut cursors = vec![0usize; shards.len()];
-    while let Some(Reverse((_, _, _, s, i))) = ready.pop() {
+    {
+        scratch.cursors.clear();
+        scratch.cursors.resize(shards.len(), 0);
+    }
+    while let Some(Reverse((_, _, _, s, i))) = scratch.ready.pop() {
         let (s, i) = (s as usize, i as usize);
         let rec = &shards[s][i];
         #[cfg(debug_assertions)]
         {
             // Serial order restricted to one shard is that shard's pop order.
-            assert_eq!(cursors[s], i, "merge visited shard {s} out of pop order");
-            cursors[s] += 1;
+            assert_eq!(
+                scratch.cursors[s], i,
+                "merge visited shard {s} out of pop order"
+            );
+            scratch.cursors[s] += 1;
         }
         rec.stamp.resolve(*next_ord);
         visit(s, i, rec);
         let ord = *next_ord;
         *next_ord += 1;
         visited += 1;
-        if let Some(kids) = children.remove(&(rec.stamp.shard, rec.stamp.local_seq)) {
-            for (cs, ci) in kids {
+        if let Some(mut kids) = scratch
+            .children
+            .remove(&(rec.stamp.shard, rec.stamp.local_seq))
+        {
+            for &(cs, ci) in &kids {
                 let child = &shards[cs as usize][ci as usize];
-                ready.push(Reverse((
+                scratch.ready.push(Reverse((
                     child.stamp.time.as_nanos(),
                     ord,
                     child.parent_idx,
@@ -495,13 +566,15 @@ pub fn merge_order(
                     ci,
                 )));
             }
+            kids.clear();
+            scratch.pool.push(kids);
         }
     }
     assert_eq!(
         visited, total,
         "epoch merge did not visit every dispatch record (dangling parent?)"
     );
-    debug_assert!(children.is_empty());
+    debug_assert!(scratch.children.is_empty());
 }
 
 #[cfg(test)]
@@ -593,6 +666,61 @@ mod tests {
         assert!(!q.cancel(t2), "popped event's token is dead");
         assert!(q.cancel(t3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_batch_push_agree_with_pop_order() {
+        let root = Stamp::root();
+        let mut q: ParQueue<u32> = ParQueue::new();
+        assert!(q.peek().is_none());
+        let key = |idx| Key {
+            parent: root.clone(),
+            idx,
+        };
+        let mut batch = vec![
+            (Time::from_nanos(7), key(2), 2u32),
+            (Time::from_nanos(3), key(1), 1),
+            (Time::from_nanos(7), key(0), 0),
+        ];
+        q.push_batch(&mut batch);
+        assert!(batch.is_empty(), "push_batch drains the staging buffer");
+        let (t, k) = q.peek().unwrap();
+        assert_eq!((t, k.idx), (Time::from_nanos(3), 1));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, [1, 0, 2], "time first, then key idx");
+    }
+
+    #[test]
+    fn merge_scratch_is_reusable_across_epochs() {
+        let root = Stamp::root();
+        let t = Time::from_nanos(5);
+        let mut scratch = MergeScratch::new();
+        let mut next_ord = 1;
+        // Two epochs, each with an epoch-internal parent→child edge, run
+        // through the same scratch.
+        for epoch in 0..2u64 {
+            let a = Stamp::new(t, 0, 2 * epoch);
+            let b = Stamp::new(t, 0, 2 * epoch + 1);
+            let shards = vec![vec![
+                Rec {
+                    stamp: a.clone(),
+                    parent: root.clone(),
+                    parent_idx: epoch as u32,
+                },
+                Rec {
+                    stamp: b.clone(),
+                    parent: a.clone(),
+                    parent_idx: 0,
+                },
+            ]];
+            let mut order = Vec::new();
+            merge_order_with(&mut scratch, &shards, &mut next_ord, |_, i, _| {
+                order.push(i)
+            });
+            assert_eq!(order, [0, 1]);
+            assert_eq!((a.ord(), b.ord()), (2 * epoch + 1, 2 * epoch + 2));
+        }
+        assert_eq!(next_ord, 5);
     }
 
     #[test]

@@ -189,6 +189,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` at absolute time `time`; returns a cancellation token.
+    ///
+    /// `#[inline]`: push/cancel are the two halves of the coalescing-timer
+    /// re-arm pattern and are called from other crates (the engine, the
+    /// partition queues); without the hint the call stays an opaque
+    /// cross-crate call and the wheel fast path cannot fold into the
+    /// caller's loop.
+    #[inline]
     pub fn push(&mut self, time: Time, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -227,6 +234,7 @@ impl<E> EventQueue<E> {
     /// `false` if it had already fired or been cancelled. Wheel-resident
     /// events (short-horizon timers) cancel in O(1); heap-resident events
     /// are removed in O(log n) — no tombstones remain either way.
+    #[inline]
     pub fn cancel(&mut self, token: EventToken) -> bool {
         let Some(slot) = self.slots.get(token.slot as usize) else {
             return false;
@@ -258,6 +266,7 @@ impl<E> EventQueue<E> {
     ///
     /// O(1) and `&self`: the hybrid invariant keeps the global minimum at
     /// the heap root whenever the queue is non-empty.
+    #[inline]
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.first().map(|e| e.time)
     }
@@ -351,15 +360,16 @@ impl<E> EventQueue<E> {
     fn wheel_remove(&mut self, level: usize, bucket: usize, pos: usize) {
         let b = &mut self.levels[level].buckets[bucket];
         b.swap_remove(pos);
-        if let Some(&moved) = b.get(pos) {
+        let moved = b.get(pos).copied();
+        if b.is_empty() {
+            self.levels[level].occupied &= !(1u64 << bucket);
+        }
+        if let Some(moved) = moved {
             self.slots[moved as usize].loc = Loc::Wheel {
                 level: level as u8,
                 bucket: bucket as u8,
                 pos: pos as u32,
             };
-        }
-        if self.levels[level].buckets[bucket].is_empty() {
-            self.levels[level].occupied &= !(1u64 << bucket);
         }
     }
 
